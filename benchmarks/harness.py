@@ -1,0 +1,49 @@
+"""Common utilities for the figure/table benchmarks."""
+
+from __future__ import annotations
+
+from functools import lru_cache
+
+from repro.analysis import format_table, sweep_loads
+from repro.power import average_route_stats
+from repro.sim import SimConfig
+from repro.topos import make_network
+
+#: Short windows keep the full harness fast while preserving curve shapes.
+SIM_KW = dict(warmup=200, measure=500, drain=1200)
+
+#: Load points used by most latency figures (flits/node/cycle).
+FIGURE_LOADS = [0.008, 0.06, 0.16, 0.30]
+
+
+@lru_cache(maxsize=None)
+def network(symbol: str, layout: str | None = None):
+    return make_network(symbol, layout=layout)
+
+
+@lru_cache(maxsize=None)
+def route_stats(symbol: str, layout: str | None = None):
+    return average_route_stats(network(symbol, layout))
+
+
+def smart_config(**kw) -> SimConfig:
+    return SimConfig(**kw).with_smart()
+
+
+def latency_curve(symbol, pattern, loads=None, config=None, layout=None, **kw):
+    """Sweep one catalog network; returns a SweepResult."""
+    params = dict(SIM_KW)
+    params.update(kw)
+    return sweep_loads(
+        network(symbol, layout),
+        pattern,
+        list(loads or FIGURE_LOADS),
+        config=config,
+        name=symbol if layout is None else layout,
+        **params,
+    )
+
+
+def print_series(title: str, headers, rows) -> None:
+    print()
+    print(format_table(headers, rows, title=title))

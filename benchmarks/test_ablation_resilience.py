@@ -1,0 +1,64 @@
+"""Ablation: link-failure resilience (the expander property, section 2.1).
+
+DESIGN.md calls out the MMS graphs' expansion as one reason for SN's
+robustness.  This ablation removes growing fractions of links and tracks
+connectivity and path stretch for SN vs the torus and the FBF.
+"""
+
+from repro.analysis import resilience_curve
+from repro.topos import make_network
+
+from harness import print_series
+
+FRACTIONS = [0.05, 0.10, 0.20]
+NETWORKS = ["sn200", "t2d4", "fbf4"]
+
+
+def run_resilience():
+    out = {}
+    for sym in NETWORKS:
+        topo = make_network(sym)
+        base = topo.average_hop_distance()
+        curve = resilience_curve(topo, FRACTIONS, seeds=(0, 1, 2))
+        out[sym] = (base, curve)
+    return out
+
+
+def test_resilience_ablation(benchmark):
+    results = benchmark.pedantic(run_resilience, rounds=1, iterations=1)
+    rows = []
+    for sym in NETWORKS:
+        base, curve = results[sym]
+        for fraction, reports in curve.items():
+            connected = sum(r.connected for r in reports)
+            stretches = [r.average_path / base for r in reports if r.connected]
+            rows.append(
+                [
+                    sym,
+                    f"{fraction:.0%}",
+                    f"{connected}/3",
+                    f"{max(stretches):.2f}" if stretches else "-",
+                    max((r.diameter for r in reports if r.connected), default="-"),
+                ]
+            )
+    print_series(
+        "Resilience ablation: link failures vs connectivity/path stretch",
+        ["network", "failures", "connected", "max stretch", "max diameter"],
+        rows,
+    )
+    sn_base, sn_curve = results["sn200"]
+    # SN stays connected through 20% failures with modest stretch and a
+    # diameter still close to 2 (the expander property).
+    for fraction in FRACTIONS:
+        for report in sn_curve[fraction]:
+            assert report.connected
+            assert report.average_path / sn_base < 1.8
+            assert report.diameter <= 5
+    # Even damaged, SN's absolute paths and diameter stay far below the
+    # torus's (relative stretch flatters the torus because it starts from
+    # 2x longer paths).
+    _, t2d_curve = results["t2d4"]
+    for sn_report, t2d_report in zip(sn_curve[0.20], t2d_curve[0.20]):
+        if t2d_report.connected:
+            assert sn_report.average_path < t2d_report.average_path
+            assert sn_report.diameter < t2d_report.diameter

@@ -1,0 +1,81 @@
+"""Figure 5: layout cost analysis across network sizes.
+
+(a) Average wire length M per layout vs N.
+(b) Total buffer size per router, no SMART (+ CBR20/CBR40 floor lines).
+(c) Same with SMART links.
+(d) Max wires over a router vs the 22nm technology bound (Eq. 3).
+"""
+
+from repro.core import (
+    SlimNoC,
+    max_wire_crossings,
+    per_router_central_buffer,
+    per_router_edge_buffers,
+    technology_wire_limit,
+)
+
+from harness import print_series
+
+LAYOUTS = ["sn_rand", "sn_basic", "sn_gr", "sn_subgr"]
+SWEEP = [(3, 3), (5, 4), (7, 6), (8, 8), (9, 8), (11, 8)]  # (q, p): N=54..1936
+
+
+def sweep_layout_costs():
+    results = []
+    for q, p in SWEEP:
+        for layout in LAYOUTS:
+            sn = SlimNoC(q, p, layout=layout)
+            eb = sum(per_router_edge_buffers(sn)) / sn.num_routers
+            eb_smart = sum(per_router_edge_buffers(sn, hops_per_cycle=9)) / sn.num_routers
+            results.append(
+                {
+                    "N": sn.num_nodes,
+                    "layout": layout,
+                    "M": sn.average_wire_length(),
+                    "eb": eb,
+                    "eb_smart": eb_smart,
+                    "cbr20": per_router_central_buffer(sn, 20),
+                    "cbr40": per_router_central_buffer(sn, 40),
+                    "maxW": max_wire_crossings(sn.edges(), sn.coordinates),
+                    "W22": technology_wire_limit(22, p),
+                }
+            )
+    return results
+
+
+def test_fig05(benchmark):
+    rows = benchmark.pedantic(sweep_layout_costs, rounds=1, iterations=1)
+    print_series(
+        "Figure 5: M, per-router buffers [flits] (no SMART / SMART), CBR floors, Eq.3",
+        ["N", "layout", "M", "Δeb/router", "Δeb smart", "CBR20", "CBR40", "maxW", "W(22nm)"],
+        [
+            [r["N"], r["layout"], round(r["M"], 2), round(r["eb"], 1),
+             round(r["eb_smart"], 1), r["cbr20"], r["cbr40"], r["maxW"], r["W22"]]
+            for r in rows
+        ],
+    )
+    by_key = {(r["N"], r["layout"]): r for r in rows}
+    for q, p in SWEEP:
+        n = 2 * q * q * p
+        # 5a: optimized layouts shorten wires vs rand/basic.
+        best = min(by_key[(n, "sn_subgr")]["M"], by_key[(n, "sn_gr")]["M"])
+        worst = max(by_key[(n, "sn_rand")]["M"], by_key[(n, "sn_basic")]["M"])
+        assert best < worst
+        # 5b: shorter wires shrink edge buffers.
+        assert by_key[(n, "sn_subgr")]["eb"] < by_key[(n, "sn_rand")]["eb"]
+        # 5c: SMART shrinks buffers everywhere.
+        assert by_key[(n, "sn_subgr")]["eb_smart"] < by_key[(n, "sn_subgr")]["eb"]
+        # 5b/5c: central buffers are the smallest at scale.
+        if n >= 200:
+            assert by_key[(n, "sn_subgr")]["cbr40"] < by_key[(n, "sn_subgr")]["eb"]
+        # 5d: Eq. 3 holds at 22nm for every layout within the paper's
+        # Table 2 range (N <= 1300); beyond it only the optimized layouts
+        # stay under the bound.
+        for layout in LAYOUTS:
+            if n <= 1300:
+                assert by_key[(n, layout)]["maxW"] <= by_key[(n, layout)]["W22"]
+        assert by_key[(n, "sn_subgr")]["maxW"] <= by_key[(n, "sn_subgr")]["W22"]
+    # Paper: subgr/gr reduce M by ~25% vs rand at scale.
+    big = 1296
+    reduction = 1 - by_key[(big, "sn_subgr")]["M"] / by_key[(big, "sn_rand")]["M"]
+    assert 0.10 < reduction < 0.5

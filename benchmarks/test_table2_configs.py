@@ -1,0 +1,69 @@
+"""Table 2: Slim NoC configurations with N <= 1300 nodes.
+
+Regenerates the full table — prime and non-prime finite fields, the
+ideal concentration, over/under-subscription, and the bold/shaded
+flags — and checks the paper's printed rows.
+"""
+
+from repro.core import enumerate_configurations
+
+from harness import print_series
+
+# (k', p, N, Nr, q) rows printed in the paper's Table 2.
+PAPER_ROWS = {
+    (6, 3, 96, 32, 4),
+    (6, 4, 128, 32, 4),
+    (12, 6, 768, 128, 8),
+    (12, 8, 1024, 128, 8),
+    (13, 7, 1134, 162, 9),
+    (13, 8, 1296, 162, 9),
+    (3, 2, 16, 8, 2),
+    (5, 3, 54, 18, 3),
+    (7, 4, 200, 50, 5),
+    (11, 6, 588, 98, 7),
+    (11, 8, 784, 98, 7),
+}
+
+
+def regenerate_table2():
+    configs = enumerate_configurations(limit=1300)
+    rows = []
+    for c in sorted(configs, key=lambda c: (c.is_prime_field, c.q, c.concentration)):
+        rows.append(
+            [
+                c.q,
+                "prime" if c.is_prime_field else "non-prime",
+                c.network_radix,
+                c.concentration,
+                c.ideal_concentration,
+                f"{c.subscription:.0%}",
+                c.num_nodes,
+                c.num_routers,
+                "bold" if c.power_of_two_nodes else "",
+                "shaded" if c.square_group_grid else "",
+            ]
+        )
+    return configs, rows
+
+
+def test_table2(benchmark):
+    configs, rows = benchmark(regenerate_table2)
+    print_series(
+        "Table 2: Slim NoC configurations (N <= 1300)",
+        ["q", "field", "k'", "p", "p*", "sub", "N", "Nr", "pow2", "grid"],
+        rows,
+    )
+    produced = {
+        (c.network_radix, c.concentration, c.num_nodes, c.num_routers, c.q)
+        for c in configs
+    }
+    missing = PAPER_ROWS - produced
+    assert not missing, f"paper rows missing from enumeration: {missing}"
+    # Non-prime fields present (the paper's key enabler).
+    assert any(not c.is_prime_field for c in configs)
+    # Power-of-two rows: N = 64, 128, 512, 1024 (bold in the paper).
+    pow2 = {c.num_nodes for c in configs if c.power_of_two_nodes}
+    assert {64, 128, 512, 1024} <= pow2
+    # SN-L's row is dark-shaded: square group grid AND square N.
+    snl = next(c for c in configs if c.q == 9 and c.concentration == 8)
+    assert snl.square_node_count

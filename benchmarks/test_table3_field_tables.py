@@ -1,0 +1,52 @@
+"""Table 3: addition / product / inverse tables for GF(9) and GF(8).
+
+Regenerates the operation tables the paper prints for the two non-prime
+fields behind SN-L (GF(9)) and the power-of-two SN (GF(8)).
+"""
+
+from repro.fields import finite_field
+
+from harness import print_series
+
+
+def regenerate_tables():
+    out = {}
+    for q in (9, 8):
+        field = finite_field(q)
+        out[q] = {
+            "+": field.format_table("+"),
+            "*": field.format_table("*"),
+            "-": field.format_table("-"),
+            "xi": field.element_name(field.primitive_element),
+        }
+    return out
+
+
+def test_table3(benchmark):
+    tables = benchmark(regenerate_tables)
+    for q in (9, 8):
+        print(f"\nTable 3 — GF({q}) (xi = {tables[q]['xi']}):")
+        for kind in "+*-":
+            print(tables[q][kind])
+            print()
+    f9 = finite_field(9)
+    # Paper: F9 has 4 equivalent primitive elements.
+    generators = [
+        c
+        for c in f9.nonzero_elements()
+        if {f9.power(c, e) for e in range(1, 9)} == set(f9.nonzero_elements())
+    ]
+    assert len(generators) == 4
+    # Paper's generator sets for q=9 have 4 elements each (|X| = (q-1)/2).
+    from repro.core import generator_sets
+
+    x_set, x_prime = generator_sets(9)
+    assert len(x_set) == len(x_prime) == 4
+    # GF(8): char 2, so the "-el" column equals "el" everywhere.
+    f8 = finite_field(8)
+    assert all(f8.neg(a) == a for a in f8.elements())
+    print_series(
+        "Table 3 summary",
+        ["field", "primitive", "|X|"],
+        [["GF(9)", tables[9]["xi"], len(x_set)], ["GF(8)", tables[8]["xi"], 4]],
+    )

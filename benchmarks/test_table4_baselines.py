@@ -1,0 +1,52 @@
+"""Table 4: the evaluated network configurations.
+
+Builds every configuration and prints the table's columns (p, k', k,
+router grid, N), verifying them against the paper's printed values.
+"""
+
+from repro.topos import expected_nodes, make_network
+
+from harness import print_series
+
+ROWS = [
+    ("t2d3", 3, 4, 7, 192), ("t2d4", 4, 4, 8, 200),
+    ("cm3", 3, 4, 7, 192), ("cm4", 4, 4, 8, 200),
+    ("fbf3", 3, 14, 17, 192), ("fbf4", 4, 13, 17, 200),
+    ("pfbf3", 3, 8, 11, 192), ("pfbf4", 4, 9, 13, 200),
+    ("sn200", 4, 7, 11, 200),
+    ("t2d9", 9, 4, 13, 1296), ("t2d8", 8, 4, 12, 1296),
+    ("cm9", 9, 4, 13, 1296), ("cm8", 8, 4, 12, 1296),
+    ("fbf9", 9, 22, 31, 1296), ("fbf8", 8, 25, 33, 1296),
+    ("pfbf9", 9, 12, 21, 1296), ("pfbf8", 8, 17, 25, 1296),
+    ("sn1296", 8, 13, 21, 1296),
+]
+
+
+def build_all():
+    table = []
+    for sym, p, kprime, k, n in ROWS:
+        topo = make_network(sym)
+        table.append(
+            (sym, topo.concentration, topo.network_radix, topo.router_radix,
+             topo.diameter, topo.grid_extent(), topo.num_nodes)
+        )
+    return table
+
+
+def test_table4(benchmark):
+    table = benchmark.pedantic(build_all, rounds=1, iterations=1)
+    print_series(
+        "Table 4: considered configurations",
+        ["sym", "p", "k'", "k", "D", "grid", "N"],
+        [list(row) for row in table],
+    )
+    by_sym = {row[0]: row for row in table}
+    for sym, p, kprime, k, n in ROWS:
+        got = by_sym[sym]
+        assert got[1] == p, sym
+        assert got[2] == kprime, sym
+        assert got[3] == k, sym
+        assert got[6] == n == expected_nodes(sym), sym
+    assert by_sym["sn200"][4] == 2
+    assert by_sym["fbf9"][4] == 2
+    assert by_sym["pfbf9"][4] == 4

@@ -1,0 +1,52 @@
+"""Table 6: percentage decrease in packet latency due to SMART links,
+per PARSEC/SPLASH workload, N ~ 200.
+
+Paper (geometric means): fbf3 ~7.6%, pfbf3 ~8%, cm3 ~0%, SN ~11.3% —
+SN benefits most because its wires are the longest.
+"""
+
+from repro.analysis import geometric_mean
+from repro.sim import NoCSimulator
+from repro.traffic import WorkloadSource
+
+from harness import SIM_KW, network, print_series
+from repro.sim.config import SimConfig
+
+NETWORKS = ["fbf3", "pfbf3", "cm3", "sn200"]
+BENCHES = ["barnes", "canneal", "fft", "ocean-c", "radix", "streamcluster", "vips", "water-s"]
+
+
+def latency(sym: str, bench: str, smart: bool) -> float:
+    topo = network(sym)
+    config = SimConfig().with_smart(smart)
+    sim = NoCSimulator(topo, config, seed=4)
+    return sim.run(WorkloadSource(topo, bench, seed=6), **SIM_KW).avg_latency
+
+
+def run_table6():
+    gains = {}
+    for sym in NETWORKS:
+        for bench in BENCHES:
+            no_smart = latency(sym, bench, False)
+            smart = latency(sym, bench, True)
+            gains[(sym, bench)] = 100.0 * (1 - smart / no_smart)
+    return gains
+
+
+def test_table6(benchmark):
+    gains = benchmark.pedantic(run_table6, rounds=1, iterations=1)
+    rows = [
+        [sym] + [round(gains[(sym, b)], 1) for b in BENCHES]
+        for sym in NETWORKS
+    ]
+    print_series("Table 6: % latency decrease from SMART", ["network"] + BENCHES, rows)
+    means = {
+        sym: geometric_mean([max(0.1, gains[(sym, b)]) for b in BENCHES])
+        for sym in NETWORKS
+    }
+    print("\nGeomean SMART gain: " + "  ".join(f"{s}={v:.1f}%" for s, v in means.items()))
+    # SN gains the most from SMART; the mesh gains essentially nothing.
+    assert means["sn200"] > means["cm3"]
+    assert means["sn200"] > means["pfbf3"] * 0.8
+    assert means["cm3"] < 6.0
+    assert means["sn200"] > 5.0

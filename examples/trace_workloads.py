@@ -1,0 +1,74 @@
+#!/usr/bin/env python3
+"""Real-workload comparison: run PARSEC/SPLASH-like traffic on Slim NoC
+and the baselines, reporting latency and energy-delay product (the
+paper's Figure 18 experiment).
+
+Run:  python examples/trace_workloads.py [bench ...]
+      (default benches: barnes fft ocean-c water-s)
+"""
+
+import sys
+
+from repro import (
+    NoCSimulator,
+    SimConfig,
+    WorkloadSource,
+    cycle_time_ns,
+    dynamic_power,
+    format_table,
+    make_metrics,
+    make_network,
+    static_power,
+    TECH_45NM,
+    workload_names,
+)
+from repro.power import average_route_stats
+
+NETWORKS = ["sn200", "fbf3", "pfbf3", "cm3"]
+
+
+def run(symbol: str, bench: str):
+    topo = make_network(symbol)
+    sim = NoCSimulator(topo, SimConfig().with_smart(), seed=3)
+    result = sim.run(WorkloadSource(topo, bench, seed=5), warmup=300, measure=600, drain=1200)
+    ct = cycle_time_ns(symbol)
+    metrics = make_metrics(
+        throughput_flits_per_cycle=result.throughput * topo.num_nodes,
+        cycle_time_ns=ct,
+        static=static_power(topo, TECH_45NM, hops_per_cycle=9, edge_buffer_flits=None),
+        dynamic=dynamic_power(
+            topo, TECH_45NM, result.throughput, ct, average_route_stats(topo),
+            hops_per_cycle=9, edge_buffer_flits=None,
+        ),
+        avg_latency_cycles=result.avg_latency,
+    )
+    return result, metrics
+
+
+def main():
+    benches = sys.argv[1:] or ["barnes", "fft", "ocean-c", "water-s"]
+    unknown = set(benches) - set(workload_names())
+    if unknown:
+        raise SystemExit(f"unknown benchmarks {sorted(unknown)}; options: {workload_names()}")
+
+    for bench in benches:
+        rows = []
+        edp = {}
+        for symbol in NETWORKS:
+            result, metrics = run(symbol, bench)
+            edp[symbol] = metrics.energy_delay_product
+            rows.append(
+                [symbol, f"{result.avg_latency:.1f}", f"{result.throughput:.4f}",
+                 f"{metrics.total_power_w:.2f}", f"{metrics.energy_delay_product:.3e}"]
+            )
+        for row in rows:
+            row.append(f"{edp[row[0]] / edp['fbf3']:.2f}")
+        print()
+        print(format_table(
+            ["network", "latency [cyc]", "thr [f/n/c]", "power [W]", "EDP [Js]", "EDP/fbf3"],
+            rows, title=f"Workload '{bench}' (SMART, 45nm)",
+        ))
+
+
+if __name__ == "__main__":
+    main()

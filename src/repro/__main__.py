@@ -1,0 +1,62 @@
+"""Command-line summary: ``python -m repro [symbol|N]``.
+
+Prints the configuration, cost profile, and a quick latency probe for a
+catalog network (``python -m repro sn1296``) or the best Slim NoC design
+for a node count (``python -m repro 800``).
+"""
+
+from __future__ import annotations
+
+import sys
+
+from .analysis import format_table
+from .core import SlimNoC
+from .core.slimnoc import design_for_nodes
+from .power import TECH_45NM, network_area, static_power
+from .sim import NoCSimulator, SimConfig
+from .topos import catalog_symbols, make_network
+from .traffic import SyntheticSource
+
+
+def _resolve(argument: str):
+    if argument.isdigit():
+        config = design_for_nodes(int(argument))
+        layout = "sn_gr" if config.square_group_grid else "sn_subgr"
+        return SlimNoC(config.q, config.concentration, layout=layout)
+    return make_network(argument)
+
+
+def main(argv: list[str]) -> int:
+    if not argv or argv[0] in ("-h", "--help"):
+        print(__doc__)
+        print("catalog symbols:", " ".join(catalog_symbols()))
+        return 0
+    topology = _resolve(argv[0])
+    area = network_area(topology, TECH_45NM, edge_buffer_flits=None)
+    power = static_power(topology, TECH_45NM, edge_buffer_flits=None)
+    sim = NoCSimulator(topology, SimConfig().with_smart(), seed=1)
+    probe = sim.run(
+        SyntheticSource(topology, "RND", 0.05), warmup=200, measure=500, drain=1000
+    )
+    print(format_table(
+        ["property", "value"],
+        [
+            ["name", topology.name],
+            ["nodes", topology.num_nodes],
+            ["routers", topology.num_routers],
+            ["network radix k'", topology.network_radix],
+            ["router radix k", topology.router_radix],
+            ["diameter", topology.diameter],
+            ["avg wire [hops]", round(topology.average_wire_length(), 2)],
+            ["area [mm^2]", round(area.total, 1)],
+            ["static power [W]", round(power.total, 2)],
+            ["latency @0.05 RND [cyc]", round(probe.avg_latency, 1)],
+            ["throughput @0.05", round(probe.throughput, 4)],
+        ],
+        title="Network summary (45nm, SMART, RTT buffers)",
+    ))
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv[1:]))

@@ -1,0 +1,20 @@
+"""Analysis harness: sweeps, saturation, large-N models, metric helpers."""
+
+from .largescale import LargeScaleModel
+from .metrics import format_table, geometric_mean, relative_improvement
+from .resilience import ResilienceReport, degrade, resilience_curve
+from .sweep import SweepPoint, SweepResult, compare_networks, sweep_loads
+
+__all__ = [
+    "SweepPoint",
+    "SweepResult",
+    "sweep_loads",
+    "compare_networks",
+    "LargeScaleModel",
+    "geometric_mean",
+    "relative_improvement",
+    "format_table",
+    "ResilienceReport",
+    "degrade",
+    "resilience_curve",
+]

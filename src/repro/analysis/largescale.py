@@ -1,0 +1,114 @@
+"""Simplified latency/throughput model for large networks (N = 1296).
+
+The paper's own methodology (section 5.1): "If N = 1296, due to large
+memory requirements (>40GB), we simplify the models by using average wire
+lengths and hop counts."  We do the same:
+
+* **Zero-load latency** — average router hops x router pipeline + link
+  cycles from the average per-route wire length (SMART-aware) +
+  serialisation + NIC overhead.
+* **Saturation throughput** — exact worst-channel load: route the traffic
+  pattern's flow matrix over the deterministic routing tables and find
+  the most loaded channel; the network saturates when that channel
+  reaches one flit per cycle.
+* **Latency-load curve** — an M/D/1-style queueing knee on top of the
+  zero-load latency, which reproduces the familiar hockey-stick shape.
+
+The model is also useful as an independent cross-check of the
+cycle-accurate simulator at small N (tested in tests/test_analysis.py).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from ..power.power import average_route_stats
+from ..routing.paths import MinimalPaths
+from ..sim.config import SimConfig
+from ..topos.base import Topology
+from ..traffic import SyntheticSource
+from .sweep import SweepPoint, SweepResult
+
+
+@dataclass(frozen=True)
+class LargeScaleModel:
+    """Analytical latency/throughput model for one (network, pattern) pair."""
+
+    topology: Topology
+    pattern: str
+    config: SimConfig
+    avg_hops: float
+    avg_wire_hops: float
+    max_channel_load_per_rate: float
+
+    @classmethod
+    def build(
+        cls,
+        topology: Topology,
+        pattern: str,
+        config: SimConfig | None = None,
+    ) -> "LargeScaleModel":
+        config = config if config is not None else SimConfig()
+        hops, wire_hops = average_route_stats(topology)
+        probe = SyntheticSource(topology, pattern, rate=1.0, packet_flits=config.packet_flits)
+        paths = MinimalPaths(topology)
+        # flows are per-router flit rates at offered load 1.0 flit/node/cycle;
+        # the busiest channel's load scales linearly with the rate.
+        channel_load = paths.max_channel_load(probe.flows())
+        return cls(
+            topology=topology,
+            pattern=pattern,
+            config=config,
+            avg_hops=hops,
+            avg_wire_hops=wire_hops,
+            max_channel_load_per_rate=channel_load,
+        )
+
+    @property
+    def saturation_rate(self) -> float:
+        """Offered load (flits/node/cycle) at which the worst channel hits 1."""
+        if self.max_channel_load_per_rate == 0:
+            return float("inf")
+        return 1.0 / self.max_channel_load_per_rate
+
+    def zero_load_latency(self) -> float:
+        cfg = self.config
+        router_cycles = (self.avg_hops + 1) * cfg.router_delay
+        link_cycles = max(
+            self.avg_hops, self.avg_wire_hops / cfg.hops_per_cycle
+        )
+        serialization = cfg.packet_flits - 1
+        nic = 2.0  # injection + ejection port crossing
+        return router_cycles + link_cycles + serialization + nic
+
+    def latency(self, rate: float) -> float:
+        """M/D/1-style latency at an offered load in flits/node/cycle."""
+        if rate < 0:
+            raise ValueError("rate must be non-negative")
+        base = self.zero_load_latency()
+        utilization = rate / self.saturation_rate
+        if utilization >= 1.0:
+            return float("inf")
+        queueing = (
+            self.config.packet_flits * utilization / (2.0 * (1.0 - utilization))
+        )
+        return base + queueing * self.avg_hops
+
+    def sweep(self, loads: list[float], name: str | None = None) -> SweepResult:
+        """A SweepResult compatible with the cycle-accurate harness."""
+        result = SweepResult(network=name or self.topology.name, pattern=self.pattern)
+        for load in sorted(loads):
+            latency = self.latency(load)
+            saturated = math.isinf(latency)
+            result.points.append(
+                SweepPoint(
+                    load=load,
+                    latency=latency if not saturated else float("nan"),
+                    throughput=min(load, self.saturation_rate),
+                    saturated=saturated,
+                )
+            )
+            if saturated:
+                break
+        return result

@@ -1,0 +1,44 @@
+"""Aggregate metrics and table formatting for the benchmark harness."""
+
+from __future__ import annotations
+
+import math
+from collections.abc import Iterable, Sequence
+
+
+def geometric_mean(values: Iterable[float]) -> float:
+    """The paper's aggregation for cross-benchmark gains (Figures 10b, 18)."""
+    values = list(values)
+    if not values:
+        raise ValueError("geometric mean of empty sequence")
+    if any(v <= 0 for v in values):
+        raise ValueError("geometric mean requires positive values")
+    return math.exp(sum(math.log(v) for v in values) / len(values))
+
+
+def relative_improvement(ours: float, baseline: float) -> float:
+    """Fractional improvement of ``ours`` over ``baseline`` (lower is better).
+
+    Returns e.g. 0.55 when ``ours`` is 55% below the baseline.
+    """
+    if baseline == 0:
+        raise ValueError("baseline must be nonzero")
+    return 1.0 - ours / baseline
+
+
+def format_table(
+    headers: Sequence[str], rows: Sequence[Sequence[object]], title: str = ""
+) -> str:
+    """Plain-text table matching the benchmark harness output style."""
+    cells = [[str(h) for h in headers]] + [
+        [f"{c:.4g}" if isinstance(c, float) else str(c) for c in row] for row in rows
+    ]
+    widths = [max(len(row[i]) for row in cells) for i in range(len(headers))]
+    lines = []
+    if title:
+        lines.append(title)
+    for index, row in enumerate(cells):
+        lines.append("  ".join(cell.rjust(width) for cell, width in zip(row, widths)))
+        if index == 0:
+            lines.append("  ".join("-" * width for width in widths))
+    return "\n".join(lines)

@@ -1,0 +1,102 @@
+"""Link-failure resilience analysis.
+
+The paper (section 2.1) attributes Slim Fly/Slim NoC's "high resilience
+to link failures" to the underlying graphs being good expanders.  This
+module quantifies that: remove a random fraction of links and measure
+connectivity, diameter growth, and average-path-length growth.  An
+expander degrades gracefully (diameter stays near 2-3); a torus or mesh
+partitions or stretches quickly at the same failure rate.
+"""
+
+from __future__ import annotations
+
+import random
+from collections import deque
+from dataclasses import dataclass
+
+from ..topos.base import Topology
+
+
+@dataclass(frozen=True)
+class ResilienceReport:
+    """Degradation metrics after removing ``failed_links`` links."""
+
+    failed_links: int
+    total_links: int
+    connected: bool
+    diameter: int | None
+    average_path: float | None
+
+    @property
+    def failure_fraction(self) -> float:
+        return self.failed_links / self.total_links if self.total_links else 0.0
+
+
+def _bfs_all(adjacency: list[list[int]], source: int) -> list[int]:
+    dist = [-1] * len(adjacency)
+    dist[source] = 0
+    frontier = deque([source])
+    while frontier:
+        current = frontier.popleft()
+        for neighbor in adjacency[current]:
+            if dist[neighbor] < 0:
+                dist[neighbor] = dist[current] + 1
+                frontier.append(neighbor)
+    return dist
+
+
+def degrade(topology: Topology, fail_fraction: float, seed: int = 0) -> ResilienceReport:
+    """Remove a random link fraction and measure what remains.
+
+    Args:
+        topology: Network under test (links are undirected).
+        fail_fraction: Fraction of links to remove (0..1).
+        seed: RNG seed for the failure pattern.
+    """
+    if not 0.0 <= fail_fraction < 1.0:
+        raise ValueError("fail_fraction must be in [0, 1)")
+    edges = topology.edges()
+    rng = random.Random(seed)
+    failures = set(rng.sample(range(len(edges)), int(fail_fraction * len(edges))))
+    adjacency: list[list[int]] = [[] for _ in range(topology.num_routers)]
+    for index, (i, j) in enumerate(edges):
+        if index in failures:
+            continue
+        adjacency[i].append(j)
+        adjacency[j].append(i)
+
+    total = 0
+    worst = 0
+    pairs = 0
+    for source in range(topology.num_routers):
+        dist = _bfs_all(adjacency, source)
+        if any(d < 0 for d in dist):
+            return ResilienceReport(
+                failed_links=len(failures),
+                total_links=len(edges),
+                connected=False,
+                diameter=None,
+                average_path=None,
+            )
+        worst = max(worst, max(dist))
+        total += sum(dist)
+        pairs += topology.num_routers - 1
+    return ResilienceReport(
+        failed_links=len(failures),
+        total_links=len(edges),
+        connected=True,
+        diameter=worst,
+        average_path=total / pairs,
+    )
+
+
+def resilience_curve(
+    topology: Topology,
+    fractions: list[float],
+    seeds: tuple[int, ...] = (0, 1, 2),
+) -> dict[float, list[ResilienceReport]]:
+    """Degradation reports across failure rates, several seeds each."""
+    return {
+        fraction: [degrade(topology, fraction, seed) for seed in seeds]
+        for fraction in fractions
+    }

@@ -1,0 +1,109 @@
+"""Load sweeps and saturation analysis over the cycle-accurate simulator.
+
+The paper's latency-load figures (10-14, 19) sweep injection rate and
+plot average packet latency until the network saturates ("we omit
+performance data for points after network saturation").  This module
+reproduces that methodology: simulate a list of loads, stop at the first
+saturated point, and report the curve plus derived metrics (zero-load
+latency, saturation throughput).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..routing import RoutingAlgorithm
+from ..sim import NoCSimulator, SimConfig
+from ..topos.base import Topology
+from ..traffic import SyntheticSource
+
+
+@dataclass(frozen=True)
+class SweepPoint:
+    load: float
+    latency: float
+    throughput: float
+    saturated: bool
+
+
+@dataclass
+class SweepResult:
+    """Latency/throughput curve for one (network, pattern, config) triple."""
+
+    network: str
+    pattern: str
+    points: list[SweepPoint] = field(default_factory=list)
+
+    @property
+    def loads(self) -> list[float]:
+        return [p.load for p in self.points]
+
+    @property
+    def latencies(self) -> list[float]:
+        return [p.latency for p in self.points]
+
+    def zero_load_latency(self) -> float:
+        """Latency at the lowest measured load."""
+        if not self.points:
+            raise ValueError("empty sweep")
+        return self.points[0].latency
+
+    def saturation_throughput(self) -> float:
+        """Highest accepted throughput before saturation."""
+        accepted = [p.throughput for p in self.points if not p.saturated]
+        return max(accepted) if accepted else 0.0
+
+    def latency_at(self, load: float) -> float:
+        """Latency at the sweep point closest to ``load``."""
+        if not self.points:
+            raise ValueError("empty sweep")
+        return min(self.points, key=lambda p: abs(p.load - load)).latency
+
+
+def sweep_loads(
+    topology: Topology,
+    pattern: str,
+    loads: list[float],
+    config: SimConfig | None = None,
+    routing: RoutingAlgorithm | None = None,
+    packet_flits: int = 6,
+    warmup: int = 300,
+    measure: int = 800,
+    drain: int = 1500,
+    seed: int = 1,
+    stop_after_saturation: bool = True,
+    name: str | None = None,
+) -> SweepResult:
+    """Run the simulator across ``loads`` (flits/node/cycle), low to high."""
+    result = SweepResult(network=name or topology.name, pattern=pattern)
+    for load in sorted(loads):
+        sim = NoCSimulator(topology, config, routing=routing, seed=seed)
+        source = SyntheticSource(topology, pattern, load, packet_flits)
+        outcome = sim.run(source, warmup=warmup, measure=measure, drain=drain)
+        point = SweepPoint(
+            load=load,
+            latency=outcome.avg_latency,
+            throughput=outcome.throughput,
+            saturated=outcome.saturated,
+        )
+        result.points.append(point)
+        if point.saturated and stop_after_saturation:
+            break
+    return result
+
+
+def compare_networks(
+    topologies: dict[str, Topology],
+    pattern: str,
+    loads: list[float],
+    configs: dict[str, SimConfig] | None = None,
+    **kwargs,
+) -> dict[str, SweepResult]:
+    """Sweep several networks under one pattern (Figures 12-14 layout)."""
+    results = {}
+    for label, topology in topologies.items():
+        config = (configs or {}).get(label)
+        results[label] = sweep_loads(
+            topology, pattern, loads, config=config, name=label, **kwargs
+        )
+    return results

@@ -1,0 +1,125 @@
+"""Slim NoC physical layouts (paper section 3.3, Figure 4b).
+
+Each layout maps a router label ``[G|a,b]`` (1-based ``a``, ``b`` in
+``1..q``) to 1-based 2D grid coordinates:
+
+* ``sn_basic``  — subgroups of the same type stacked together:
+  ``(b, a + G*q)``; simple but lengthens inter-subgroup wires.
+* ``sn_subgr``  — subgroups of different types interleaved pairwise:
+  ``(b, 2a - (1 - G))``; shortens inter-subgroup wires (best for SN-S).
+* ``sn_gr``     — subgroups merged pairwise into groups, groups tiled "as
+  close to a square as possible" (best for SN-L).  The printed formula in
+  the paper is corrupted by PDF extraction; this implementation realises
+  the stated intent and reproduces Figure 7b exactly: for q=9, 9 groups of
+  6x3 routers in a 3x3 group grid, an 18x9-router die.
+* ``sn_rand``   — routers shuffled over the q x 2q slots (seeded, used as
+  the paper's strawman baseline).
+
+All four return ``{router_index: (x, y)}`` with router indices following
+the paper's ``i = G*q^2 + (a-1)*q + b`` convention (0-based here).
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from collections.abc import Callable
+
+from .mms import MMSGraph
+
+Coordinate = tuple[int, int]
+LayoutFn = Callable[[MMSGraph], dict[int, Coordinate]]
+
+
+def _iter_labels(q: int):
+    """Yield (index, G, a, b) with 1-based a, b in the paper's index order."""
+    index = 0
+    for group_type in (0, 1):
+        for a in range(1, q + 1):
+            for b in range(1, q + 1):
+                yield index, group_type, a, b
+                index += 1
+
+
+def layout_basic(graph: MMSGraph) -> dict[int, Coordinate]:
+    """``[G|a,b] -> (b, a + G*q)``: same-type subgroups stacked together."""
+    q = graph.q
+    return {
+        index: (b, a + group_type * q)
+        for index, group_type, a, b in _iter_labels(q)
+    }
+
+
+def layout_subgroup(graph: MMSGraph) -> dict[int, Coordinate]:
+    """``[G|a,b] -> (b, 2a - (1 - G))``: type-0/type-1 subgroups interleaved."""
+    q = graph.q
+    return {
+        index: (b, 2 * a - (1 - group_type))
+        for index, group_type, a, b in _iter_labels(q)
+    }
+
+
+def group_tile_shape(q: int) -> tuple[int, int]:
+    """(width, height) of one merged group's tile in the group layout.
+
+    ``height = ceil(sqrt(q))`` makes the die near-square: for q=9 each
+    group is 6x3 and the die is 18x9 routers, exactly Figure 7b.
+    """
+    height = math.ceil(math.sqrt(q))
+    width = math.ceil(2 * q / height)
+    return width, height
+
+
+def layout_group(graph: MMSGraph) -> dict[int, Coordinate]:
+    """Merged groups tiled in a near-square grid (Figure 7b).
+
+    Group ``a`` holds subgroups ``(0, a)`` and ``(1, a)``; its 2q routers
+    fill a ``width x height`` tile row-major by within-group index
+    ``(b - 1) + G*q``.  Groups themselves tile a ``ceil(sqrt(q))``-wide
+    grid.
+    """
+    q = graph.q
+    width, height = group_tile_shape(q)
+    group_cols = math.ceil(math.sqrt(q))
+    coords: dict[int, Coordinate] = {}
+    for index, group_type, a, b in _iter_labels(q):
+        within = (b - 1) + group_type * q
+        local_x = within % width
+        local_y = within // width
+        group_x = (a - 1) % group_cols
+        group_y = (a - 1) // group_cols
+        coords[index] = (group_x * width + local_x + 1, group_y * height + local_y + 1)
+    return coords
+
+
+def layout_random(graph: MMSGraph, seed: int = 0) -> dict[int, Coordinate]:
+    """Routers shuffled uniformly over the q x 2q slots (strawman)."""
+    q = graph.q
+    slots = [(x, y) for y in range(1, 2 * q + 1) for x in range(1, q + 1)]
+    rng = random.Random(seed)
+    rng.shuffle(slots)
+    return {index: slots[index] for index in range(graph.num_routers)}
+
+
+#: Registry of the paper's four layouts (Figure 4b / section 3.3).
+LAYOUTS: dict[str, LayoutFn] = {
+    "sn_basic": layout_basic,
+    "sn_subgr": layout_subgroup,
+    "sn_gr": layout_group,
+    "sn_rand": layout_random,
+}
+
+
+def layout_coordinates(graph: MMSGraph, layout: str, seed: int = 0) -> dict[int, Coordinate]:
+    """Coordinates for ``graph`` under a named layout.
+
+    Args:
+        graph: The MMS graph to lay out.
+        layout: One of ``sn_basic``, ``sn_subgr``, ``sn_gr``, ``sn_rand``.
+        seed: Shuffle seed, used by ``sn_rand`` only.
+    """
+    if layout not in LAYOUTS:
+        raise ValueError(f"unknown layout {layout!r}; options: {sorted(LAYOUTS)}")
+    if layout == "sn_rand":
+        return layout_random(graph, seed=seed)
+    return LAYOUTS[layout](graph)

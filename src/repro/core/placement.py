@@ -1,0 +1,110 @@
+"""Wire placement model (paper section 3.2.1, equations 1-3).
+
+Connected routers are wired along a shortest Manhattan path.  When the two
+routers share neither row nor column there are two L-shaped candidates;
+the paper breaks the tie by the *larger* coordinate span: if the X-span
+exceeds the Y-span the wire leaves router ``i`` vertically first
+(the "bottom-left" path through ``(x_i, y_j)``), otherwise horizontally
+first (the "top-right" path through ``(x_j, y_i)``).
+
+Equation 3 bounds, for every grid slot, the number of wires routed over
+that slot by the technology limit ``W``; :func:`wire_crossing_counts` and
+:func:`max_wire_crossings` evaluate the left-hand side, and
+:func:`technology_wire_limit` the right-hand side.
+"""
+
+from __future__ import annotations
+
+import math
+from collections import Counter
+
+from ..topos.base import Coordinate
+
+#: Wiring density (wires per mm, single intermediate metal layer) and core
+#: area (mm^2) per technology node — paper section 3.3.2 assumptions.
+WIRING_DENSITY_PER_MM = {45: 3_500, 22: 7_000, 11: 14_000}
+CORE_AREA_MM2 = {45: 4.0, 22: 1.0, 11: 0.25}
+
+
+def x_dominant(ci: Coordinate, cj: Coordinate) -> bool:
+    """The paper's Φ(i,j): True when |xi-xj| > |yi-yj|."""
+    return abs(ci[0] - cj[0]) > abs(ci[1] - cj[1])
+
+
+def wire_path(ci: Coordinate, cj: Coordinate) -> list[Coordinate]:
+    """Every grid slot the wire from ``ci`` to ``cj`` passes over.
+
+    Includes both endpoints; follows the Eq. 1/2 tie-break.  The result is
+    the union of the two line segments of the chosen L-shape.
+    """
+    xi, yi = ci
+    xj, yj = cj
+    slots: list[Coordinate] = []
+    if x_dominant(ci, cj):
+        # Leave i vertically first: (xi,yi) -> (xi,yj) -> (xj,yj).
+        for y in _inclusive(yi, yj):
+            slots.append((xi, y))
+        for x in _inclusive(xi, xj):
+            if (x, yj) != (xi, yj):
+                slots.append((x, yj))
+    else:
+        # Leave i horizontally first: (xi,yi) -> (xj,yi) -> (xj,yj).
+        for x in _inclusive(xi, xj):
+            slots.append((x, yi))
+        for y in _inclusive(yi, yj):
+            if (xj, y) != (xj, yi):
+                slots.append((xj, y))
+    return slots
+
+
+def _inclusive(a: int, b: int) -> range:
+    return range(a, b + 1) if a <= b else range(a, b - 1, -1)
+
+
+def wire_crossing_counts(
+    edges: list[tuple[int, int]], coords: dict[int, Coordinate]
+) -> Counter[Coordinate]:
+    """Wires routed over each grid slot (left-hand side of Eq. 3).
+
+    Wire endpoints count toward their own slots, matching the paper's
+    "wires placed over a router and its attached nodes".
+    """
+    counts: Counter[Coordinate] = Counter()
+    for i, j in edges:
+        for slot in wire_path(coords[i], coords[j]):
+            counts[slot] += 1
+    return counts
+
+
+def max_wire_crossings(edges: list[tuple[int, int]], coords: dict[int, Coordinate]) -> int:
+    """The worst slot's wire count — must stay <= ``W`` (Eq. 3)."""
+    counts = wire_crossing_counts(edges, coords)
+    return max(counts.values()) if counts else 0
+
+
+def technology_wire_limit(
+    technology_nm: int, concentration: int, link_width_bits: int = 128
+) -> int:
+    """Maximum parallel links routable over one router tile (the ``W`` of Eq. 3).
+
+    ``W`` = wiring density x tile side / link width: a tile holding ``p``
+    cores has side ``sqrt(p * core_area)``; each link needs
+    ``link_width_bits`` wires.
+    """
+    if technology_nm not in WIRING_DENSITY_PER_MM:
+        raise ValueError(f"unknown technology node {technology_nm}nm")
+    tile_side_mm = math.sqrt(concentration * CORE_AREA_MM2[technology_nm])
+    raw_wires = WIRING_DENSITY_PER_MM[technology_nm] * tile_side_mm
+    return int(raw_wires // link_width_bits)
+
+
+def satisfies_wire_constraint(
+    edges: list[tuple[int, int]],
+    coords: dict[int, Coordinate],
+    technology_nm: int,
+    concentration: int,
+    link_width_bits: int = 128,
+) -> bool:
+    """Check Eq. 3 for every slot of the given placement."""
+    limit = technology_wire_limit(technology_nm, concentration, link_width_bits)
+    return max_wire_crossings(edges, coords) <= limit

@@ -1,0 +1,206 @@
+"""Slim NoC topology, configuration enumeration (Table 2), and presets.
+
+A :class:`SlimNoC` couples an MMS graph with a concentration ``p`` and a
+physical layout, exposing the common :class:`~repro.topos.base.Topology`
+interface used throughout the library.
+
+:func:`enumerate_configurations` regenerates the paper's Table 2 — all
+Slim NoC configurations with ``N <= limit`` nodes, flagged for
+power-of-two node counts (bold rows) and square group grids (shaded rows).
+:data:`SN_S`, :data:`SN_L`, and :data:`SN_1024` are the paper's three
+ready-to-use designs (section 3.4).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from ..fields import prime_powers_up_to
+from ..fields.primes import factor_prime_power
+from ..topos.base import Coordinate, Topology
+from .layouts import layout_coordinates
+from .mms import MMSGraph, mms_graph, mms_params
+
+
+@dataclass(frozen=True)
+class SlimNoCConfig:
+    """One row of the paper's Table 2."""
+
+    q: int
+    concentration: int
+    network_radix: int
+    num_routers: int
+    num_nodes: int
+    is_prime_field: bool
+
+    @property
+    def ideal_concentration(self) -> int:
+        """``ceil(k'/2)``, the paper's starred column."""
+        return math.ceil(self.network_radix / 2)
+
+    @property
+    def subscription(self) -> float:
+        """Over/under-subscription ``p / ceil(k'/2)`` (Table 2 ``**`` column)."""
+        return self.concentration / self.ideal_concentration
+
+    @property
+    def kappa(self) -> int:
+        """The paper's density/contention tradeoff ``κ = p - ceil(k'/2)``."""
+        return self.concentration - self.ideal_concentration
+
+    @property
+    def power_of_two_nodes(self) -> bool:
+        """Bold rows of Table 2: N is a power of two."""
+        return self.num_nodes & (self.num_nodes - 1) == 0
+
+    @property
+    def square_group_grid(self) -> bool:
+        """Grey rows of Table 2: equally many groups on each die side."""
+        side = math.isqrt(self.q)
+        return side * side == self.q
+
+    @property
+    def square_node_count(self) -> bool:
+        """Dark-grey rows: additionally N is a perfect square."""
+        side = math.isqrt(self.num_nodes)
+        return self.square_group_grid and side * side == self.num_nodes
+
+    @property
+    def router_radix(self) -> int:
+        return self.network_radix + self.concentration
+
+
+def config_for(q: int, concentration: int) -> SlimNoCConfig:
+    """The Slim NoC configuration for a given ``q`` and concentration."""
+    params = mms_params(q)
+    _, extension_degree = factor_prime_power(q)
+    return SlimNoCConfig(
+        q=q,
+        concentration=concentration,
+        network_radix=params.network_radix,
+        num_routers=params.nr,
+        num_nodes=params.nr * concentration,
+        is_prime_field=extension_degree == 1,
+    )
+
+
+def enumerate_configurations(limit: int = 1300) -> list[SlimNoCConfig]:
+    """All Slim NoC configurations with ``N <= limit`` (Table 2).
+
+    Concentrations range over the paper's 66%-133% subscription band:
+    ``ceil(2/3 * ideal) <= p <= floor(4/3 * ideal)``.
+    """
+    configs = []
+    for q in prime_powers_up_to(limit):
+        params = mms_params(q)
+        if 2 * params.nr > limit:  # even p=1... the paper never goes below 2
+            break
+        ideal = math.ceil(params.network_radix / 2)
+        p_min = max(2, math.ceil(2 * ideal / 3))
+        p_max = math.floor(4 * ideal / 3)
+        for p in range(p_min, p_max + 1):
+            config = config_for(q, p)
+            if config.num_nodes <= limit:
+                configs.append(config)
+    return configs
+
+
+def design_for_nodes(
+    target_nodes: int,
+    max_kappa: int = 2,
+    allow_underpopulated: bool = True,
+) -> SlimNoCConfig:
+    """Construct an SN for a fixed network size (paper section 3.5.3).
+
+    Step 1 verifies feasibility: ``N`` must factor as ``p * 2 q**2`` with
+    ``q`` a prime power (when ``allow_underpopulated`` is set, a slightly
+    larger configuration is acceptable — the paper's "removing some nodes
+    from selected tiles" strategy).  Step 2 verifies the density/
+    contention tradeoff ``κ = p - ceil(k'/2)`` stays within ``max_kappa``.
+
+    Returns:
+        The smallest acceptable configuration with ``num_nodes >= target``.
+
+    Raises:
+        ValueError: when no configuration satisfies the constraints.
+    """
+    if target_nodes < 2:
+        raise ValueError("target size must be at least 2 nodes")
+    candidates: list[SlimNoCConfig] = []
+    for q in prime_powers_up_to(max(4, math.isqrt(target_nodes) + 2)):
+        params = mms_params(q)
+        exact_p, remainder = divmod(target_nodes, params.nr)
+        p_options = {exact_p, exact_p + 1} if remainder else {exact_p}
+        for p in p_options:
+            if p < 1:
+                continue
+            config = config_for(q, p)
+            if abs(config.kappa) > max_kappa:
+                continue
+            if config.num_nodes == target_nodes:
+                candidates.append(config)
+            elif allow_underpopulated and config.num_nodes > target_nodes:
+                candidates.append(config)
+    if not candidates:
+        raise ValueError(
+            f"no Slim NoC configuration reaches N={target_nodes} "
+            f"with |kappa| <= {max_kappa}"
+        )
+    exact = [c for c in candidates if c.num_nodes == target_nodes]
+    pool = exact if exact else candidates
+    return min(pool, key=lambda c: (c.num_nodes, abs(c.kappa)))
+
+
+class SlimNoC(Topology):
+    """Slim NoC: an MMS graph with concentration ``p`` and a physical layout.
+
+    Args:
+        q: Prime power controlling the MMS graph (``Nr = 2 q**2``).
+        concentration: Nodes per router (the paper's ``p``).
+        layout: One of ``sn_basic``, ``sn_subgr``, ``sn_gr``, ``sn_rand``.
+        seed: Placement seed for ``sn_rand``.
+    """
+
+    def __init__(self, q: int, concentration: int, layout: str = "sn_subgr", seed: int = 0):
+        super().__init__(concentration)
+        self.graph: MMSGraph = mms_graph(q)
+        self.layout = layout
+        self._seed = seed
+        self.name = layout if layout.startswith("sn_") else f"sn_{layout}"
+        self.config = config_for(q, concentration)
+
+    @property
+    def q(self) -> int:
+        return self.graph.q
+
+    def _build_adjacency(self) -> list[tuple[int, ...]]:
+        return list(self.graph.neighbors)
+
+    def _build_coordinates(self) -> dict[int, Coordinate]:
+        return layout_coordinates(self.graph, self.layout, seed=self._seed)
+
+    def with_layout(self, layout: str, seed: int = 0) -> "SlimNoC":
+        """A copy of this network under a different physical layout."""
+        return SlimNoC(self.q, self.concentration, layout=layout, seed=seed)
+
+
+def sn_small(layout: str = "sn_subgr") -> SlimNoC:
+    """SN-S (section 3.4): q=5, p=4, N=200 — near-future manycore scale."""
+    return SlimNoC(q=5, concentration=4, layout=layout)
+
+
+def sn_large(layout: str = "sn_gr") -> SlimNoC:
+    """SN-L (section 3.4): q=9 (GF(9)), p=8, N=1296 — future >1k-core chips."""
+    return SlimNoC(q=9, concentration=8, layout=layout)
+
+
+def sn_power_of_two(layout: str = "sn_subgr") -> SlimNoC:
+    """SN-1024 (section 3.4): q=8 (GF(8)), p=8, N=1024 — Epiphany-class."""
+    return SlimNoC(q=8, concentration=8, layout=layout)
+
+
+#: Ready-to-use designs from paper section 3.4.
+SN_S = ("SN-S", sn_small)
+SN_L = ("SN-L", sn_large)
+SN_1024 = ("SN-1024", sn_power_of_two)

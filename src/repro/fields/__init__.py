@@ -1,0 +1,13 @@
+"""Finite-field substrate for Slim NoC graph generation."""
+
+from .finite_field import FiniteField, finite_field
+from .primes import factor_prime_power, is_prime, is_prime_power, prime_powers_up_to
+
+__all__ = [
+    "FiniteField",
+    "finite_field",
+    "factor_prime_power",
+    "is_prime",
+    "is_prime_power",
+    "prime_powers_up_to",
+]

@@ -1,0 +1,276 @@
+"""Finite fields GF(p^m) with integer-coded elements.
+
+Slim NoC's key construction trick (paper section 3.5.2) is to build the
+underlying MMS graphs over *non-prime* finite fields such as GF(4), GF(8),
+and GF(9).  This module provides those fields:
+
+* Elements are encoded as integers ``0 .. q-1``.  For an extension field
+  GF(p^m) the integer's base-``p`` digits are the coefficients of a
+  polynomial over GF(p) (little-endian: digit ``i`` multiplies ``x**i``).
+* Multiplication reduces modulo a monic irreducible polynomial found by
+  deterministic search (smallest encoded polynomial first, so fields are
+  reproducible run to run).
+* Full operation tables are precomputed; all per-element operations are
+  O(1) lookups afterwards, which keeps graph generation fast.
+
+The paper's Table 3 presents GF(9) and GF(8) through addition, product,
+and additive-inverse tables with symbolic element names
+(``0 1 2 u v w x y z``); :meth:`FiniteField.format_table` reproduces that
+presentation.
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+
+from .primes import factor_prime_power
+
+#: Symbolic element names used by the paper's Table 3.  The first elements
+#: are named after their integer value; subsequent ones use letters starting
+#: at "u" as in the paper (GF(9) = {0,1,2,u,v,w,x,y,z}).
+_LETTERS = "uvwxyzijklmnopqrst"
+
+
+def _poly_mul_mod(a: tuple[int, ...], b: tuple[int, ...], p: int) -> tuple[int, ...]:
+    """Multiply two coefficient tuples over GF(p) (no modulus reduction)."""
+    result = [0] * (len(a) + len(b) - 1)
+    for i, ca in enumerate(a):
+        if ca == 0:
+            continue
+        for j, cb in enumerate(b):
+            result[i + j] = (result[i + j] + ca * cb) % p
+    return tuple(result)
+
+
+def _poly_divmod(num: tuple[int, ...], den: tuple[int, ...], p: int) -> tuple[tuple[int, ...], tuple[int, ...]]:
+    """Polynomial division over GF(p); returns (quotient, remainder)."""
+    num_list = list(num)
+    deg_den = _degree(den)
+    lead_inv = pow(den[deg_den], p - 2, p) if p > 2 else den[deg_den]
+    quotient = [0] * max(1, len(num_list) - deg_den)
+    while _degree(tuple(num_list)) >= deg_den and any(num_list):
+        deg_num = _degree(tuple(num_list))
+        if deg_num < deg_den:
+            break
+        coeff = (num_list[deg_num] * lead_inv) % p
+        shift = deg_num - deg_den
+        quotient[shift] = coeff
+        for i, c in enumerate(den):
+            num_list[i + shift] = (num_list[i + shift] - coeff * c) % p
+    return tuple(quotient), tuple(num_list[:deg_den] or [0])
+
+
+def _degree(poly: tuple[int, ...]) -> int:
+    for i in range(len(poly) - 1, -1, -1):
+        if poly[i] != 0:
+            return i
+    return -1
+
+
+def _int_to_poly(value: int, p: int, m: int) -> tuple[int, ...]:
+    digits = []
+    for _ in range(m):
+        digits.append(value % p)
+        value //= p
+    return tuple(digits)
+
+
+def _poly_to_int(poly: tuple[int, ...], p: int) -> int:
+    value = 0
+    for digit in reversed(poly):
+        value = value * p + digit
+    return value
+
+
+def _is_irreducible(poly: tuple[int, ...], p: int) -> bool:
+    """Trial division by all monic polynomials of degree 1 .. deg/2."""
+    deg = _degree(poly)
+    for d in range(1, deg // 2 + 1):
+        # Enumerate monic polynomials of degree d: p**d choices of lower
+        # coefficients.
+        for low in range(p**d):
+            candidate = _int_to_poly(low, p, d) + (1,)
+            _, rem = _poly_divmod(poly, candidate, p)
+            if _degree(rem) < 0:
+                return False
+    return True
+
+
+def _find_irreducible(p: int, m: int) -> tuple[int, ...]:
+    """Smallest (by integer encoding) monic irreducible of degree m over GF(p)."""
+    for low in range(p**m):
+        candidate = _int_to_poly(low, p, m) + (1,)
+        if _is_irreducible(candidate, p):
+            return candidate
+    raise RuntimeError(f"no irreducible polynomial of degree {m} over GF({p})")
+
+
+class FiniteField:
+    """The finite field with ``q = p ** m`` elements.
+
+    Elements are plain integers ``0 .. q-1``; the field object carries the
+    arithmetic.  Instances are cached (see :func:`finite_field`) because the
+    tables are immutable.
+
+    Attributes:
+        q: Field order.
+        p: Field characteristic.
+        m: Extension degree (``q == p ** m``).
+        modulus: Coefficient tuple of the irreducible polynomial used for
+            reduction (little-endian); ``None`` semantics never occur — for
+            prime fields this is ``(−a, 1)``-style degree-1 placeholder and
+            unused.
+    """
+
+    def __init__(self, q: int):
+        self.q = q
+        self.p, self.m = factor_prime_power(q)
+        if self.m == 1:
+            self.modulus: tuple[int, ...] = (0, 1)
+        else:
+            self.modulus = _find_irreducible(self.p, self.m)
+        self._build_tables()
+        self._xi = self._find_primitive_element()
+        self._build_logs()
+
+    # -- construction ----------------------------------------------------
+
+    def _build_tables(self) -> None:
+        q, p, m = self.q, self.p, self.m
+        add = [[0] * q for _ in range(q)]
+        mul = [[0] * q for _ in range(q)]
+        polys = [_int_to_poly(v, p, m) for v in range(q)]
+        for a in range(q):
+            for b in range(a, q):
+                s = tuple((polys[a][i] + polys[b][i]) % p for i in range(m))
+                add[a][b] = add[b][a] = _poly_to_int(s, p)
+                prod = _poly_mul_mod(polys[a], polys[b], p)
+                if _degree(prod) >= m:
+                    _, prod = _poly_divmod(prod, self.modulus, p)
+                prod = tuple(prod) + (0,) * (m - len(prod))
+                mul[a][b] = mul[b][a] = _poly_to_int(prod[:m], p)
+        self._add = add
+        self._mul = mul
+        neg = [0] * q
+        for a in range(q):
+            for b in range(q):
+                if add[a][b] == 0:
+                    neg[a] = b
+                    break
+        self._neg = neg
+
+    def _find_primitive_element(self) -> int:
+        """Smallest element whose powers enumerate every nonzero element."""
+        for candidate in range(2, self.q):
+            seen = set()
+            value = 1
+            for _ in range(self.q - 1):
+                value = self._mul[value][candidate]
+                seen.add(value)
+            if len(seen) == self.q - 1:
+                return candidate
+        if self.q == 2:
+            return 1
+        raise RuntimeError(f"no primitive element found in GF({self.q})")
+
+    def _build_logs(self) -> None:
+        log = {1: 0}
+        antilog = [1] * (self.q - 1)
+        value = 1
+        for exponent in range(1, self.q - 1):
+            value = self._mul[value][self._xi]
+            log[value] = exponent
+            antilog[exponent] = value
+        self._log = log
+        self._antilog = antilog
+
+    # -- arithmetic ------------------------------------------------------
+
+    def add(self, a: int, b: int) -> int:
+        return self._add[a][b]
+
+    def neg(self, a: int) -> int:
+        return self._neg[a]
+
+    def sub(self, a: int, b: int) -> int:
+        return self._add[a][self._neg[b]]
+
+    def mul(self, a: int, b: int) -> int:
+        return self._mul[a][b]
+
+    def inv(self, a: int) -> int:
+        if a == 0:
+            raise ZeroDivisionError("0 has no multiplicative inverse")
+        return self._antilog[(self.q - 1 - self._log[a]) % (self.q - 1)]
+
+    def power(self, a: int, n: int) -> int:
+        if a == 0:
+            if n == 0:
+                return 1
+            if n < 0:
+                raise ZeroDivisionError("0 cannot be raised to a negative power")
+            return 0
+        return self._antilog[(self._log[a] * n) % (self.q - 1)]
+
+    @property
+    def primitive_element(self) -> int:
+        """A generator ``ξ`` of the multiplicative group."""
+        return self._xi
+
+    def elements(self) -> range:
+        return range(self.q)
+
+    def nonzero_elements(self) -> range:
+        return range(1, self.q)
+
+    # -- presentation (paper Table 3) -------------------------------------
+
+    def element_name(self, a: int) -> str:
+        """Symbolic name matching the paper's Table 3 convention."""
+        if a < self.p:
+            return str(a)
+        return _LETTERS[a - self.p]
+
+    def addition_table(self) -> list[list[int]]:
+        return [row[:] for row in self._add]
+
+    def multiplication_table(self) -> list[list[int]]:
+        return [row[:] for row in self._mul]
+
+    def negation_table(self) -> list[int]:
+        """Additive inverses, the ``-el`` column of the paper's Table 3."""
+        return self._neg[:]
+
+    def format_table(self, kind: str) -> str:
+        """Render an operation table with symbolic names.
+
+        Args:
+            kind: ``"+"`` for addition, ``"*"`` for product, ``"-"`` for the
+                additive-inverse (two-column) table.
+        """
+        names = [self.element_name(a) for a in range(self.q)]
+        if kind == "-":
+            lines = ["el -el"]
+            lines += [f"{names[a]:>2} {names[self._neg[a]]:>3}" for a in range(self.q)]
+            return "\n".join(lines)
+        if kind == "+":
+            table = self._add
+        elif kind == "*":
+            table = self._mul
+        else:
+            raise ValueError(f"unknown table kind {kind!r}")
+        header = f"{kind} | " + " ".join(names)
+        rows = [
+            f"{names[a]} | " + " ".join(names[table[a][b]] for b in range(self.q))
+            for a in range(self.q)
+        ]
+        return "\n".join([header] + rows)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"FiniteField(q={self.q}, p={self.p}, m={self.m})"
+
+
+@lru_cache(maxsize=None)
+def finite_field(q: int) -> FiniteField:
+    """Cached constructor: the field of order ``q`` (a prime power)."""
+    return FiniteField(q)

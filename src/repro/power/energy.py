@@ -1,0 +1,76 @@
+"""Combined power/performance metrics: throughput-per-power and EDP.
+
+These are the paper's headline metrics (Table 5, Figure 18, Figure 1b/c):
+
+* **throughput/power** — flits delivered per joule: the number of flits
+  delivered in a cycle divided by the power consumed during that delivery.
+* **energy-delay product** — (static + dynamic energy over the run) times
+  the average packet latency, reported normalised to a baseline topology.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .power import PowerReport
+
+
+@dataclass(frozen=True)
+class EnergyMetrics:
+    """Power/performance summary of one (network, workload) evaluation."""
+
+    throughput_flits_per_cycle: float
+    cycle_time_ns: float
+    static_power_w: float
+    dynamic_power_w: float
+    avg_latency_cycles: float
+
+    @property
+    def total_power_w(self) -> float:
+        return self.static_power_w + self.dynamic_power_w
+
+    @property
+    def throughput_per_power(self) -> float:
+        """Flits per joule (Table 5's metric)."""
+        flits_per_second = self.throughput_flits_per_cycle / (self.cycle_time_ns * 1e-9)
+        if self.total_power_w == 0:
+            return float("inf")
+        return flits_per_second / self.total_power_w
+
+    @property
+    def latency_seconds(self) -> float:
+        return self.avg_latency_cycles * self.cycle_time_ns * 1e-9
+
+    @property
+    def energy_delay_product(self) -> float:
+        """Energy per delivered flit x packet delay (J*s) — Figure 18's EDP."""
+        flits_per_second = self.throughput_flits_per_cycle / (self.cycle_time_ns * 1e-9)
+        if flits_per_second == 0:
+            return float("inf")
+        energy_per_flit = self.total_power_w / flits_per_second
+        return energy_per_flit * self.latency_seconds
+
+
+def make_metrics(
+    throughput_flits_per_cycle: float,
+    cycle_time_ns: float,
+    static: PowerReport,
+    dynamic: PowerReport,
+    avg_latency_cycles: float,
+) -> EnergyMetrics:
+    """Convenience constructor from the power model's reports."""
+    return EnergyMetrics(
+        throughput_flits_per_cycle=throughput_flits_per_cycle,
+        cycle_time_ns=cycle_time_ns,
+        static_power_w=static.total,
+        dynamic_power_w=dynamic.total,
+        avg_latency_cycles=avg_latency_cycles,
+    )
+
+
+def normalize(values: dict[str, float], baseline: str) -> dict[str, float]:
+    """Divide every entry by the baseline's value (Figure 18 style)."""
+    if baseline not in values:
+        raise KeyError(f"baseline {baseline!r} missing from values")
+    base = values[baseline]
+    return {name: value / base for name, value in values.items()}

@@ -1,0 +1,149 @@
+"""Static (leakage) and dynamic power models.
+
+Static power follows the area model's components; dynamic power is
+activity-based: every flit pays a buffer write+read and a crossbar
+traversal at each router it visits, plus wire energy proportional to the
+millimetres it travels.  Activity is expressed as an injection rate in
+flits/node/cycle together with the topology's average hop count and
+average wire length — exactly the quantities the section 3.2 cost model
+exposes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..routing.paths import MinimalPaths
+from ..topos.base import Topology
+from .area import (
+    FLIT_BITS,
+    allocator_area_mm2,
+    crossbar_area_mm2,
+    router_buffer_flits,
+    total_wire_mm,
+)
+from .technology import Technology, tile_side_mm
+
+
+@dataclass(frozen=True)
+class PowerReport:
+    """Watts by component."""
+
+    buffers: float
+    crossbars: float
+    wires: float
+
+    @property
+    def routers(self) -> float:
+        return self.buffers + self.crossbars
+
+    @property
+    def total(self) -> float:
+        return self.buffers + self.crossbars + self.wires
+
+    def per_node(self, num_nodes: int) -> float:
+        return self.total / num_nodes
+
+    def breakdown(self) -> dict[str, float]:
+        return {"buffers": self.buffers, "crossbars": self.crossbars, "wires": self.wires}
+
+
+def static_power(
+    topology: Topology,
+    tech: Technology,
+    vcs: int = 2,
+    hops_per_cycle: int = 1,
+    central_buffer_flits: int = 0,
+    edge_buffer_flits: int | None = 5,
+) -> PowerReport:
+    """Leakage power of the whole network."""
+    buffers = router_buffer_flits(
+        topology, vcs, hops_per_cycle, central_buffer_flits, edge_buffer_flits
+    )
+    buffer_leak = sum(buffers) * FLIT_BITS * tech.sram_bit_leakage_w
+    radix = topology.router_radix
+    xbar_leak = topology.num_routers * (
+        crossbar_area_mm2(tech, radix) * tech.xbar_leakage_w_per_mm2
+        + allocator_area_mm2(tech, radix) * tech.allocator_leakage_w_per_mm2
+    )
+    wire_leak = total_wire_mm(topology, tech) * tech.wire_leakage_w_per_mm
+    side = tile_side_mm(tech, topology.concentration)
+    wire_leak += topology.num_nodes * 0.5 * side * tech.wire_leakage_w_per_mm
+    return PowerReport(buffers=buffer_leak, crossbars=xbar_leak, wires=wire_leak)
+
+
+def average_route_stats(topology: Topology) -> tuple[float, float]:
+    """(average router hops, average wire hops) over uniform node pairs.
+
+    Hops follow the deterministic minimal routing tables; wire hops sum
+    the physical link lengths along those routes.
+    """
+    paths = MinimalPaths(topology)
+    nr = topology.num_routers
+    total_hops = 0.0
+    total_wire = 0.0
+    pairs = 0
+    for src in range(nr):
+        for dst in range(nr):
+            if src == dst:
+                continue
+            path = paths.path(src, dst)
+            total_hops += len(path) - 1
+            total_wire += sum(
+                topology.link_length_hops(a, b) for a, b in zip(path, path[1:])
+            )
+            pairs += 1
+    return total_hops / pairs, total_wire / pairs
+
+
+def dynamic_power(
+    topology: Topology,
+    tech: Technology,
+    injection_rate: float,
+    cycle_time_ns: float,
+    route_stats: tuple[float, float] | None = None,
+    vcs: int = 2,
+    hops_per_cycle: int = 1,
+    central_buffer_flits: int = 0,
+    edge_buffer_flits: int | None = 5,
+) -> PowerReport:
+    """Dynamic power at a given offered load (flits/node/cycle).
+
+    Two components, as in DSENT: activity energy (buffer accesses, a
+    crossbar traversal that scales with the matrix crossbar's k^2 wire
+    lengths, and per-mm wire switching) plus clock power for the router's
+    clocked storage, which scales with total buffer bits and is why
+    high-radix routers burn dynamic power even at fixed load.
+
+    Args:
+        route_stats: Optional precomputed (hops, wire hops) pair — the
+            all-pairs sweep is O(Nr^2) and worth caching across calls.
+    """
+    if injection_rate < 0:
+        raise ValueError("injection rate must be non-negative")
+    hops, wire_hops = route_stats if route_stats else average_route_stats(topology)
+    cycles_per_second = 1.0 / (cycle_time_ns * 1e-9)
+    flits_per_second = topology.num_nodes * injection_rate * cycles_per_second
+    bits_per_second = flits_per_second * FLIT_BITS
+    routers_visited = hops + 1  # source router included
+    buffer_bits = sum(
+        router_buffer_flits(
+            topology, vcs, hops_per_cycle, central_buffer_flits, edge_buffer_flits
+        )
+    ) * FLIT_BITS
+    clock_power = buffer_bits * tech.clock_energy_j_per_bit * cycles_per_second
+    buffer_power = bits_per_second * routers_visited * tech.buffer_energy_j_per_bit
+    radix = topology.router_radix
+    xbar_power = (
+        bits_per_second
+        * routers_visited
+        * radix
+        * radix
+        * tech.xbar_energy_j_per_bit_per_port2
+    )
+    side = tile_side_mm(tech, topology.concentration)
+    wire_mm = wire_hops * side + side  # route wires + node access
+    wire_power = bits_per_second * wire_mm * tech.wire_energy_j_per_bit_mm
+    return PowerReport(
+        buffers=buffer_power + clock_power, crossbars=xbar_power, wires=wire_power
+    )

@@ -1,0 +1,98 @@
+"""Technology parameters for the analytical area/power model.
+
+This replaces the DSENT tool (see DESIGN.md substitutions).  Constants are
+calibrated to DSENT-era published numbers for 128-bit NoC routers:
+
+* 45 nm, 1.0 V: SRAM cell ~1 um^2/bit with periphery, crossbar wire pitch
+  ~250 nm/bit-line, router dynamic energy ~0.1 pJ/bit per buffer access,
+  wire energy ~0.1 pJ/bit/mm, repeated-wire leakage ~0.5 mW/mm per
+  128-bit link.
+* 22 nm, 0.8 V: logic/SRAM area scales ~(22/45)^2, dynamic energy by
+  ~V^2 * C; wires scale *less* than logic (the paper's observation that
+  "wires use relatively more area and power in 22nm").
+
+Absolute watts are approximations; every paper comparison we reproduce is
+a *ratio* between topologies evaluated under the same constants.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class Technology:
+    """One process node's constants (all per-bit / per-mm / per-mm^2)."""
+
+    name: str
+    feature_nm: int
+    voltage: float
+    core_area_mm2: float
+    #: Area
+    sram_bit_area_mm2: float
+    xbar_pitch_mm: float  # crossbar bit-line pitch
+    wire_pitch_mm: float  # link wire pitch on intermediate/global metal
+    allocator_area_mm2_per_port2: float
+    #: Static power
+    sram_bit_leakage_w: float
+    xbar_leakage_w_per_mm2: float
+    wire_leakage_w_per_mm: float  # per 128-bit repeated link
+    allocator_leakage_w_per_mm2: float
+    #: Dynamic energy
+    buffer_energy_j_per_bit: float  # one write + one read
+    xbar_energy_j_per_bit_per_port2: float  # matrix crossbar: scales with k^2
+    wire_energy_j_per_bit_mm: float
+    clock_energy_j_per_bit: float  # per clocked buffer bit per cycle
+
+
+TECH_45NM = Technology(
+    name="45nm",
+    feature_nm=45,
+    voltage=1.0,
+    core_area_mm2=4.0,
+    sram_bit_area_mm2=1.0e-6,
+    xbar_pitch_mm=2.5e-4,
+    wire_pitch_mm=4.0e-5,
+    allocator_area_mm2_per_port2=4.0e-5,
+    sram_bit_leakage_w=1.0e-6,
+    xbar_leakage_w_per_mm2=0.20,
+    wire_leakage_w_per_mm=5.0e-4,
+    allocator_leakage_w_per_mm2=0.20,
+    buffer_energy_j_per_bit=1.0e-13,
+    xbar_energy_j_per_bit_per_port2=1.2e-15,
+    wire_energy_j_per_bit_mm=2.5e-14,
+    clock_energy_j_per_bit=2.0e-15,
+)
+
+TECH_22NM = Technology(
+    name="22nm",
+    feature_nm=22,
+    voltage=0.8,
+    core_area_mm2=1.0,
+    sram_bit_area_mm2=1.0e-6 * 0.26,
+    xbar_pitch_mm=2.5e-4 * 0.51,
+    wire_pitch_mm=4.0e-5 * 0.7,  # wires scale worse than logic
+    allocator_area_mm2_per_port2=4.0e-5 * 0.26,
+    sram_bit_leakage_w=1.0e-6 * 0.55,
+    xbar_leakage_w_per_mm2=0.20 * 1.6,  # leakage density rises per node
+    wire_leakage_w_per_mm=5.0e-4 * 0.8,
+    allocator_leakage_w_per_mm2=0.20 * 1.6,
+    buffer_energy_j_per_bit=1.0e-13 * 0.4,
+    xbar_energy_j_per_bit_per_port2=1.2e-15 * 0.4,
+    wire_energy_j_per_bit_mm=2.5e-14 * 0.55,
+    clock_energy_j_per_bit=2.0e-15 * 0.4,
+)
+
+TECHNOLOGIES = {45: TECH_45NM, 22: TECH_22NM}
+
+
+def technology(feature_nm: int) -> Technology:
+    """Lookup a process node by feature size (45 or 22)."""
+    if feature_nm not in TECHNOLOGIES:
+        raise ValueError(f"unknown technology {feature_nm}nm; options: 45, 22")
+    return TECHNOLOGIES[feature_nm]
+
+
+def tile_side_mm(tech: Technology, concentration: int) -> float:
+    """Side of one router tile (its ``p`` cores), the physical hop length."""
+    return (concentration * tech.core_area_mm2) ** 0.5

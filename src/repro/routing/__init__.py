@@ -1,0 +1,62 @@
+"""Routing: minimal tables, deadlock-free VC schedules, adaptive UGAL."""
+
+from .algorithms import (
+    DimensionOrderRouting,
+    QueueOracle,
+    Route,
+    RoutingAlgorithm,
+    StaticMinimalRouting,
+    UGALRouting,
+    ValiantRouting,
+    XYAdaptiveRouting,
+    ZeroQueues,
+)
+from .paths import MinimalPaths
+
+__all__ = [
+    "MinimalPaths",
+    "Route",
+    "RoutingAlgorithm",
+    "StaticMinimalRouting",
+    "DimensionOrderRouting",
+    "ValiantRouting",
+    "UGALRouting",
+    "XYAdaptiveRouting",
+    "QueueOracle",
+    "ZeroQueues",
+]
+
+
+def default_routing(topology, num_vcs: int | None = None) -> RoutingAlgorithm:
+    """The paper's default router for a topology.
+
+    Grid networks (mesh/torus) use dimension-order XY with dateline VCs;
+    everything else uses deterministic minimal routing with hop-index VCs
+    sized to the diameter (2 for SN and FBF, up to 4 for PFBF).
+    """
+    from ..topos.grids import _GridTopology
+
+    if isinstance(topology, _GridTopology) and not _has_express_links(topology):
+        return DimensionOrderRouting(topology, num_vcs=num_vcs or 2)
+    vcs = num_vcs if num_vcs is not None else max(2, topology.diameter)
+    return StaticMinimalRouting(topology, num_vcs=vcs)
+
+
+def _has_express_links(topology) -> bool:
+    """FBF/PFBF are grid-shaped but have non-neighbor links."""
+    for i, j in topology.edges():
+        xi, yi = topology.coordinates[i]
+        xj, yj = topology.coordinates[j]
+        if abs(xi - xj) + abs(yi - yj) > 1 and not _is_wrap(topology, i, j):
+            return True
+    return False
+
+
+def _is_wrap(topology, i: int, j: int) -> bool:
+    from ..topos.grids import Torus2D
+
+    if not isinstance(topology, Torus2D):
+        return False
+    xi, yi = topology.position_of(i)
+    xj, yj = topology.position_of(j)
+    return abs(xi - xj) in (0, topology.cols - 1) and abs(yi - yj) in (0, topology.rows - 1)

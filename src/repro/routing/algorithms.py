@@ -1,0 +1,270 @@
+"""Routing algorithms: static minimal, dimension-order, and adaptive UGAL.
+
+A routing algorithm maps (source router, destination router) to a
+:class:`Route` — the full router path plus a per-hop virtual-channel
+schedule.  Fixing the VC schedule at route time implements the paper's
+deadlock-avoidance schemes directly:
+
+* **Hop-index VCs** (section 4.3): VC0 on the first hop, VC1 on the
+  second, … — the VC index strictly increases along a path, so the
+  channel-dependency graph is acyclic whenever ``num_vcs`` covers the
+  longest path.
+* **Dimension-order + dateline** for meshes and tori: XY routing is
+  acyclic per dimension; torus wrap-around rings switch from VC0 to VC1
+  at a dateline.
+* **UGAL-L / UGAL-G** (section 6): per-packet choice between the minimal
+  path and a Valiant detour through a random intermediate router, using
+  local or global queue estimates.
+"""
+
+from __future__ import annotations
+
+import random
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+
+from ..topos.base import Topology
+from ..topos.grids import Torus2D, _GridTopology
+from .paths import MinimalPaths
+
+
+@dataclass(frozen=True)
+class Route:
+    """A fully resolved route: routers visited and the VC used on each hop."""
+
+    path: tuple[int, ...]
+    vcs: tuple[int, ...]
+
+    def __post_init__(self):
+        if len(self.vcs) != max(len(self.path) - 1, 0):
+            raise ValueError("need exactly one VC per link hop")
+
+    @property
+    def hops(self) -> int:
+        return len(self.path) - 1
+
+
+class QueueOracle(ABC):
+    """Congestion feedback interface the simulator exposes to UGAL."""
+
+    @abstractmethod
+    def output_queue(self, router: int, neighbor: int) -> int:
+        """Flits queued at ``router`` for its channel toward ``neighbor``."""
+
+
+class ZeroQueues(QueueOracle):
+    """No-congestion oracle: makes UGAL degrade to minimal routing."""
+
+    def output_queue(self, router: int, neighbor: int) -> int:
+        return 0
+
+
+class RoutingAlgorithm(ABC):
+    """Base class; subclasses fill :meth:`route`."""
+
+    name = "routing"
+
+    def __init__(self, topology: Topology, num_vcs: int = 2):
+        self.topology = topology
+        self.num_vcs = num_vcs
+        self.minimal = MinimalPaths(topology)
+
+    @abstractmethod
+    def route(self, src: int, dst: int, packet_id: int = 0) -> Route:
+        """Compute the route for one packet (routers, VC schedule)."""
+
+    def _ascending_vcs(self, path: tuple[int, ...]) -> tuple[int, ...]:
+        return tuple(min(h, self.num_vcs - 1) for h in range(len(path) - 1))
+
+
+class StaticMinimalRouting(RoutingAlgorithm):
+    """The paper's default: deterministic shortest paths, hop-index VCs.
+
+    Deadlock-free when ``num_vcs >= diameter`` (SN and FBF need just 2).
+    """
+
+    name = "min"
+
+    def __init__(self, topology: Topology, num_vcs: int = 2, enforce_vc_cover: bool = True):
+        super().__init__(topology, num_vcs)
+        if enforce_vc_cover and topology.diameter > num_vcs:
+            raise ValueError(
+                f"hop-index VC scheme needs num_vcs >= diameter "
+                f"({topology.diameter}); got {num_vcs}"
+            )
+
+    def route(self, src: int, dst: int, packet_id: int = 0) -> Route:
+        path = self.minimal.path(src, dst)
+        return Route(path, self._ascending_vcs(path))
+
+
+class DimensionOrderRouting(RoutingAlgorithm):
+    """XY routing for meshes and tori (dateline VCs on wrap rings).
+
+    Packets finish all X hops before any Y hop.  On a torus, each
+    dimension's ring is broken by a dateline: a packet starts on VC0 and
+    moves to VC1 after crossing the wrap-around link of the current
+    dimension, which removes the ring's cyclic dependency.
+    """
+
+    name = "xy"
+
+    def __init__(self, topology: _GridTopology, num_vcs: int = 2):
+        if not isinstance(topology, _GridTopology):
+            raise TypeError("dimension-order routing needs a grid topology")
+        if isinstance(topology, Torus2D) and num_vcs < 2:
+            raise ValueError("torus dateline scheme needs >= 2 VCs")
+        super().__init__(topology, num_vcs)
+        self.is_torus = isinstance(topology, Torus2D)
+
+    def _steps(self, frm: int, to: int, size: int) -> list[int]:
+        """Per-dimension coordinate sequence (minimal, wrap-aware on torus)."""
+        if frm == to:
+            return [frm]
+        if not self.is_torus:
+            step = 1 if to > frm else -1
+            return list(range(frm, to + step, step))
+        forward = (to - frm) % size
+        backward = (frm - to) % size
+        step = 1 if forward <= backward else -1
+        seq = [frm]
+        while seq[-1] != to:
+            seq.append((seq[-1] + step) % size)
+        return seq
+
+    def route(self, src: int, dst: int, packet_id: int = 0) -> Route:
+        grid: _GridTopology = self.topology  # type: ignore[assignment]
+        sx, sy = grid.position_of(src)
+        dx, dy = grid.position_of(dst)
+        xs = self._steps(sx, dx, grid.cols)
+        ys = self._steps(sy, dy, grid.rows)
+        path = [grid.router_at(x, sy) for x in xs]
+        path += [grid.router_at(dx, y) for y in ys[1:]]
+        return Route(tuple(path), tuple(self._vc_schedule(path, grid, dx, sy)))
+
+    def _vc_schedule(self, path: list[int], grid: _GridTopology, dx: int, sy: int) -> list[int]:
+        """Dateline VCs: start on VC0, move to VC1 at the wrap link of the
+        current dimension's ring; reset when turning from X into Y (the two
+        rings are independent under XY ordering)."""
+        vcs = []
+        vc = 0
+        prev = grid.position_of(path[0])
+        for router in path[1:]:
+            cur = grid.position_of(router)
+            turning_into_y = cur[1] != prev[1] and prev == (dx, sy)
+            if turning_into_y:
+                vc = 0
+            if self.is_torus and self._crossed_wrap(prev, cur):
+                vc = 1  # this hop is the dateline (wrap) link
+            vcs.append(vc)
+            prev = cur
+        return vcs
+
+    @staticmethod
+    def _crossed_wrap(prev: tuple[int, int], cur: tuple[int, int]) -> bool:
+        return abs(cur[0] - prev[0]) > 1 or abs(cur[1] - prev[1]) > 1
+
+
+class ValiantRouting(RoutingAlgorithm):
+    """Two-phase randomized routing: minimal to a random intermediate, then
+    minimal to the destination.  The non-minimal arm of UGAL."""
+
+    name = "val"
+
+    def __init__(self, topology: Topology, num_vcs: int = 4, seed: int = 0):
+        super().__init__(topology, num_vcs)
+        self._rng = random.Random(seed)
+
+    def route(self, src: int, dst: int, packet_id: int = 0) -> Route:
+        intermediate = self._rng.randrange(self.topology.num_routers)
+        first = self.minimal.path(src, intermediate)
+        second = self.minimal.path(intermediate, dst)
+        path = first + second[1:]
+        return Route(path, self._ascending_vcs(path))
+
+
+class UGALRouting(RoutingAlgorithm):
+    """UGAL-L / UGAL-G (paper section 6, Figure 20).
+
+    Per packet, compare the minimal path against one random Valiant
+    candidate using estimated delay ``hops * (queue + 1)``:
+
+    * local (UGAL-L): only the source router's output-queue lengths are
+      visible — the queue on each candidate's first hop.
+    * global (UGAL-G): queue lengths along the *whole* candidate path.
+    """
+
+    def __init__(
+        self,
+        topology: Topology,
+        num_vcs: int = 4,
+        global_info: bool = False,
+        oracle: QueueOracle | None = None,
+        seed: int = 0,
+    ):
+        super().__init__(topology, num_vcs)
+        self.global_info = global_info
+        self.oracle = oracle if oracle is not None else ZeroQueues()
+        self.name = "ugal-g" if global_info else "ugal-l"
+        self._rng = random.Random(seed)
+
+    def _path_cost(self, path: tuple[int, ...]) -> float:
+        hops = len(path) - 1
+        if hops == 0:
+            return 0.0
+        if self.global_info:
+            queued = sum(self.oracle.output_queue(a, b) for a, b in zip(path, path[1:]))
+        else:
+            queued = hops * self.oracle.output_queue(path[0], path[1])
+        return hops + queued
+
+    def route(self, src: int, dst: int, packet_id: int = 0) -> Route:
+        minimal_path = self.minimal.path(src, dst)
+        if src == dst:
+            return Route(minimal_path, ())
+        intermediate = self._rng.randrange(self.topology.num_routers)
+        valiant_path = self.minimal.path(src, intermediate) + self.minimal.path(
+            intermediate, dst
+        )[1:]
+        chosen = (
+            valiant_path
+            if self._path_cost(valiant_path) < self._path_cost(minimal_path)
+            else minimal_path
+        )
+        if len(chosen) - 1 > self.num_vcs:
+            chosen = minimal_path  # VC schedule must stay ascending
+        return Route(chosen, self._ascending_vcs(chosen))
+
+
+class XYAdaptiveRouting(RoutingAlgorithm):
+    """FBF's XY-ADAPT (Kim et al.): adaptively pick row-first or
+    column-first among the two minimal L-paths by first-hop queue length."""
+
+    name = "xy-adapt"
+
+    def __init__(
+        self,
+        topology: _GridTopology,
+        num_vcs: int = 2,
+        oracle: QueueOracle | None = None,
+    ):
+        if not isinstance(topology, _GridTopology):
+            raise TypeError("XY-adaptive routing needs a grid topology")
+        super().__init__(topology, num_vcs)
+        self.oracle = oracle if oracle is not None else ZeroQueues()
+
+    def route(self, src: int, dst: int, packet_id: int = 0) -> Route:
+        grid: _GridTopology = self.topology  # type: ignore[assignment]
+        sx, sy = grid.position_of(src)
+        dx, dy = grid.position_of(dst)
+        if src == dst:
+            return Route((src,), ())
+        if sx == dx or sy == dy:
+            path = self.minimal.path(src, dst)
+            return Route(path, self._ascending_vcs(path))
+        row_first = (src, grid.router_at(dx, sy), dst)
+        col_first = (src, grid.router_at(sx, dy), dst)
+        cost_row = self.oracle.output_queue(src, row_first[1])
+        cost_col = self.oracle.output_queue(src, col_first[1])
+        path = row_first if cost_row <= cost_col else col_first
+        return Route(path, self._ascending_vcs(path))

@@ -1,0 +1,87 @@
+"""Deterministic minimal routing tables (paper section 5.1 "Routing").
+
+The paper uses static minimum routing with paths computed by a
+single-source shortest-path algorithm.  We build per-destination next-hop
+tables by BFS with a stable tie-break (lowest router index wins), so every
+(src, dst) pair has exactly one deterministic path — which also gives
+livelock freedom for free.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from functools import cached_property
+
+from ..topos.base import Topology
+
+
+class MinimalPaths:
+    """All-pairs deterministic shortest paths over a topology.
+
+    ``next_hop[dst][cur]`` is the neighbor ``cur`` forwards to when heading
+    for ``dst``; computing it per destination (reverse BFS) keeps memory at
+    ``O(Nr^2)`` ints.
+    """
+
+    def __init__(self, topology: Topology):
+        self.topology = topology
+
+    @cached_property
+    def next_hop(self) -> list[list[int]]:
+        nr = self.topology.num_routers
+        table: list[list[int]] = []
+        for dst in range(nr):
+            hops = [-1] * nr  # next hop toward dst; dst itself stays -1
+            dist = [-1] * nr
+            dist[dst] = 0
+            frontier = deque([dst])
+            while frontier:
+                current = frontier.popleft()
+                # Deterministic: neighbors scanned in sorted order, first
+                # setter wins, so the lowest-index parent is chosen.
+                for neighbor in sorted(self.topology.router_neighbors(current)):
+                    if dist[neighbor] < 0:
+                        dist[neighbor] = dist[current] + 1
+                        hops[neighbor] = current
+                        frontier.append(neighbor)
+            if any(d < 0 for d in dist):
+                raise ValueError("topology is disconnected")
+            table.append(hops)
+        return table
+
+    def path(self, src: int, dst: int) -> tuple[int, ...]:
+        """Router sequence ``src .. dst`` (inclusive)."""
+        if src == dst:
+            return (src,)
+        table = self.next_hop[dst]
+        path = [src]
+        current = src
+        while current != dst:
+            current = table[current]
+            path.append(current)
+            if len(path) > self.topology.num_routers:
+                raise RuntimeError("routing loop detected")
+        return tuple(path)
+
+    def hop_count(self, src: int, dst: int) -> int:
+        return len(self.path(src, dst)) - 1
+
+    def channel_loads(self, flows: dict[tuple[int, int], float]) -> dict[tuple[int, int], float]:
+        """Expected flits/cycle per directed channel for given router flows.
+
+        ``flows`` maps (src_router, dst_router) to offered flits/cycle.
+        Used by the analytical saturation model and by UGAL-G's oracle in
+        steady state.
+        """
+        loads: dict[tuple[int, int], float] = {}
+        for (src, dst), rate in flows.items():
+            if src == dst or rate == 0.0:
+                continue
+            path = self.path(src, dst)
+            for a, b in zip(path, path[1:]):
+                loads[(a, b)] = loads.get((a, b), 0.0) + rate
+        return loads
+
+    def max_channel_load(self, flows: dict[tuple[int, int], float]) -> float:
+        loads = self.channel_loads(flows)
+        return max(loads.values()) if loads else 0.0

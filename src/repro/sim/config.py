@@ -1,0 +1,118 @@
+"""Simulation configuration and the paper's buffering strategies.
+
+Section 5.1 "Router Architectures" fixes the microarchitectural constants
+reproduced here: a 2-stage edge-buffer router pipeline with 2 VCs, a CBR
+with a 2-cycle bypass and 4-cycle buffered path, 20-flit injection and
+ejection queues, 6-flit packets, and 128-bit links (one flit per link
+cycle).  Section 5.1 "Buffering Strategies" names the presets:
+
+========== ==========================================================
+EB-Small   all edge buffers 5 flits per VC
+EB-Large   all edge buffers 15 flits per VC
+EB-Var     per-link minimal depth for 100% utilisation (the RTT Tij)
+EL-Links   elastic links only — 1-flit staging, link latches buffer
+CBR-x      central-buffer router, CB capacity x flits
+========== ==========================================================
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+#: Paper defaults (section 5.1).
+PACKET_FLITS = 6
+LINK_WIDTH_BITS = 128
+SMART_H = 9
+
+
+@dataclass(frozen=True)
+class SimConfig:
+    """All knobs of the cycle-accurate model.
+
+    Attributes:
+        num_vcs: Virtual channels per physical link.
+        packet_flits: Flits per packet for synthetic traffic.
+        edge_buffer_flits: Input buffer depth per (port, VC); ignored when
+            ``variable_edge_buffers`` or a central buffer is active.
+        variable_edge_buffers: Size each input buffer to its link's RTT
+            (the EB-Var strategy; SMART-aware through ``hops_per_cycle``).
+        central_buffer_flits: >0 selects the CBR router with this CB size.
+        elastic_links: Replace credit links + deep buffers with elastic
+            pipeline latches and 1-flit staging buffers.
+        hops_per_cycle: The SMART ``H`` (1 = no SMART, 9 = SMART at 45nm).
+        router_delay: Cycles a flit spends in the router pipeline before it
+            can arbitrate (2-stage edge router => 1 wait cycle + 1 transfer).
+        cbr_penalty: Extra cycles on the CBR buffered path (4-cycle total).
+        cbr_patience: Cycles a head flit must have stalled in staging
+            before its packet commits to the CB.  The CB has a single
+            read and a single write port (section 4.2), so it must absorb
+            persistent head-of-line conflicts, not transient ones —
+            without patience every conflict serialises on the CB port.
+        ejection_queue_flits: NIC ejection queue capacity.
+        injection_queue_flits: Advisory NIC injection queue size (sources
+            are open-loop; occupancy beyond this flags saturation).
+    """
+
+    num_vcs: int = 2
+    packet_flits: int = PACKET_FLITS
+    edge_buffer_flits: int = 5
+    variable_edge_buffers: bool = False
+    central_buffer_flits: int = 0
+    elastic_links: bool = False
+    hops_per_cycle: int = 1
+    router_delay: int = 2
+    cbr_penalty: int = 2
+    cbr_patience: int = 4
+    ejection_queue_flits: int = 20
+    injection_queue_flits: int = 20
+
+    @property
+    def uses_central_buffer(self) -> bool:
+        return self.central_buffer_flits > 0
+
+    def with_smart(self, enabled: bool = True) -> "SimConfig":
+        return replace(self, hops_per_cycle=SMART_H if enabled else 1)
+
+    def buffer_depth_for(self, link_latency: int) -> int:
+        """Input-buffer depth per VC facing a link of the given latency."""
+        if self.uses_central_buffer or self.elastic_links:
+            return 1  # staging only; capacity lives in the CB / link latches
+        if self.variable_edge_buffers:
+            return 2 * link_latency + 3  # the RTT Tij of the buffer model
+        return self.edge_buffer_flits
+
+
+def eb_small(**kw) -> SimConfig:
+    """EB-Small: 5-flit edge buffers."""
+    return SimConfig(edge_buffer_flits=5, **kw)
+
+
+def eb_large(**kw) -> SimConfig:
+    """EB-Large: 15-flit edge buffers."""
+    return SimConfig(edge_buffer_flits=15, **kw)
+
+
+def eb_var(**kw) -> SimConfig:
+    """EB-Var: per-link RTT-sized buffers (100% link utilisation)."""
+    return SimConfig(variable_edge_buffers=True, **kw)
+
+
+def el_links(**kw) -> SimConfig:
+    """EL-Links: elastic links, no input buffers."""
+    return SimConfig(elastic_links=True, **kw)
+
+
+def cbr(cb_flits: int, **kw) -> SimConfig:
+    """CBR-x: central-buffer router with elastic links (section 4.4)."""
+    return SimConfig(central_buffer_flits=cb_flits, elastic_links=True, **kw)
+
+
+#: Figure 11's named strategies.
+BUFFERING_STRATEGIES = {
+    "EB-Small": eb_small,
+    "EB-Large": eb_large,
+    "EB-Var": eb_var,
+    "EL-Links": el_links,
+    "CBR-6": lambda **kw: cbr(6, **kw),
+    "CBR-40": lambda **kw: cbr(40, **kw),
+}

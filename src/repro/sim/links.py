@@ -1,0 +1,136 @@
+"""Link models: credit-based pipelined wires and elastic (EB/ElastiStore) links.
+
+* :class:`CreditLink` — a fixed-latency pipe.  Flits sent at cycle ``t``
+  arrive at ``t + latency``; the upstream router only sends with a credit
+  in hand, and credits return with the same wire latency.  This is the
+  conventional edge-buffer design whose buffers must cover the RTT.
+
+* :class:`ElasticLink` — the paper's EB/ElastiStore wire (section 4.1):
+  the repeaters themselves become master-slave latches, one slave latch
+  per VC with a shared master per stage.  Each stage holds at most one
+  flit per VC but advances at most one flit per cycle (the shared
+  master), which reproduces ElastiStore's worst-case 1/|VC| throughput
+  loss when all but one VC are blocked.  Backpressure is ready/valid —
+  no credits and no deep buffers.
+
+With SMART (section 3.2.2) a wire of physical length ``d`` hops has
+``ceil(d / H)`` cycles of latency; :func:`link_latency` centralises that.
+"""
+
+from __future__ import annotations
+
+import math
+from collections import deque
+
+from .packet import Flit
+
+
+def link_latency(distance_hops: int, hops_per_cycle: int = 1) -> int:
+    """Cycles to traverse a wire of the given physical length (>= 1)."""
+    return max(1, math.ceil(max(distance_hops, 1) / hops_per_cycle))
+
+
+class CreditLink:
+    """Fixed-latency flit pipe with symmetric credit return path."""
+
+    def __init__(self, latency: int):
+        if latency < 1:
+            raise ValueError("link latency must be >= 1")
+        self.latency = latency
+        self._flits: deque[tuple[int, Flit, int]] = deque()
+        self._credits: deque[tuple[int, int]] = deque()
+
+    def send_flit(self, flit: Flit, vc: int, now: int) -> None:
+        self._flits.append((now + self.latency, flit, vc))
+
+    def send_credit(self, vc: int, now: int) -> None:
+        self._credits.append((now + self.latency, vc))
+
+    def arrivals(self, now: int) -> list[tuple[Flit, int]]:
+        """Flits whose transit completes at ``now`` (FIFO per link)."""
+        out = []
+        while self._flits and self._flits[0][0] <= now:
+            _, flit, vc = self._flits.popleft()
+            out.append((flit, vc))
+        return out
+
+    def credit_arrivals(self, now: int) -> list[int]:
+        out = []
+        while self._credits and self._credits[0][0] <= now:
+            out.append(self._credits.popleft()[1])
+        return out
+
+    @property
+    def in_flight(self) -> int:
+        return len(self._flits)
+
+
+class ElasticLink:
+    """Pipeline of elastic stages; per-VC slots, one advance per stage/cycle.
+
+    The downstream router drains stage ``latency - 1`` through
+    :meth:`pop_ready`; the upstream router offers flits via
+    :meth:`can_accept` / :meth:`push`.
+    """
+
+    def __init__(self, latency: int, num_vcs: int):
+        if latency < 1:
+            raise ValueError("link latency must be >= 1")
+        self.latency = latency
+        self.num_vcs = num_vcs
+        # stages[s][vc] is the flit in stage s's slave latch for vc.
+        self.stages: list[dict[int, Flit]] = [{} for _ in range(latency)]
+        self._rr = [0] * latency  # round-robin pointer per stage's master latch
+
+    def can_accept(self, vc: int) -> bool:
+        return vc not in self.stages[0]
+
+    def push(self, flit: Flit, vc: int) -> None:
+        if vc in self.stages[0]:
+            raise RuntimeError("elastic stage 0 busy for this VC")
+        self.stages[0][vc] = flit
+
+    def advance(self, downstream_free) -> list[tuple[Flit, int]]:
+        """One cycle of pipeline motion, last stage first.
+
+        Args:
+            downstream_free: callable ``(vc) -> bool`` — can the router's
+                staging buffer accept a flit on this VC right now?
+
+        Returns:
+            Flits delivered into the downstream router this cycle.
+        """
+        delivered: list[tuple[Flit, int]] = []
+        for stage_index in range(self.latency - 1, -1, -1):
+            stage = self.stages[stage_index]
+            if not stage:
+                continue
+            chosen = self._pick(stage_index, stage, downstream_free)
+            if chosen is None:
+                continue
+            flit = stage.pop(chosen)
+            if stage_index == self.latency - 1:
+                delivered.append((flit, chosen))
+            else:
+                self.stages[stage_index + 1][chosen] = flit
+        return delivered
+
+    def _pick(self, stage_index: int, stage: dict[int, Flit], downstream_free) -> int | None:
+        """Round-robin over VCs whose flit can move forward."""
+        start = self._rr[stage_index]
+        for offset in range(self.num_vcs):
+            vc = (start + offset) % self.num_vcs
+            if vc not in stage:
+                continue
+            if stage_index == self.latency - 1:
+                movable = downstream_free(vc)
+            else:
+                movable = vc not in self.stages[stage_index + 1]
+            if movable:
+                self._rr[stage_index] = (vc + 1) % self.num_vcs
+                return vc
+        return None
+
+    @property
+    def in_flight(self) -> int:
+        return sum(len(stage) for stage in self.stages)

@@ -1,0 +1,545 @@
+"""The cycle-accurate NoC simulator.
+
+Models flit-level virtual-channel wormhole switching with credit-based or
+elastic flow control over any :class:`~repro.topos.base.Topology`:
+
+* **Edge-buffer router** — 2-stage pipeline: a flit arriving at cycle
+  ``t`` may arbitrate from ``t + router_delay - 1`` and reaches the next
+  router after the wire latency.  Input buffers per (port, VC) sized by
+  the active buffering strategy; credits flow back over the same wire.
+* **Central-buffer router (CBR)** — 1-flit staging buffers per (port,
+  VC); on an output conflict the whole packet is *atomically* granted
+  central-buffer space (deadlock safety, section 4.3) and re-arbitrates
+  from the CB after the 4-cycle buffered-path penalty.  The CB has a
+  single read and a single write port (section 4.2).
+* **Wormhole VC ownership** — an output (port, VC) belongs to one packet
+  from head until tail, and the VC a packet uses on every hop is fixed at
+  route time (hop-index VCs / datelines), so the channel dependency graph
+  is acyclic by construction.
+* **SMART links** — wire latency ``ceil(distance / H)`` cycles.
+
+Routers and NICs advance in lockstep inside :meth:`NoCSimulator.run`; the
+simulator also implements the :class:`~repro.routing.algorithms.QueueOracle`
+protocol so UGAL can observe live channel occupancy.
+"""
+
+from __future__ import annotations
+
+import random
+from collections import deque
+from dataclasses import dataclass, field, replace
+
+from ..routing import QueueOracle, RoutingAlgorithm, default_routing
+from ..topos.base import Topology
+from .config import SimConfig
+from .links import CreditLink, ElasticLink, link_latency
+from .packet import Flit, Packet
+
+# Out-port keys: ints address neighbor routers; ("ej", node) tuples address
+# the per-node ejection ports.
+
+
+@dataclass
+class _InputUnit:
+    """One (input port, VC) FIFO."""
+
+    capacity: int
+    buffer: deque = field(default_factory=deque)
+
+    @property
+    def occupancy(self) -> int:
+        return len(self.buffer)
+
+    def has_space(self) -> bool:
+        return len(self.buffer) < self.capacity
+
+
+class _Router:
+    """Per-router state: input units, credits, ownership, CB queues."""
+
+    def __init__(self, index: int, neighbors: tuple[int, ...], config: SimConfig):
+        self.index = index
+        self.neighbors = neighbors
+        self.config = config
+        # (port_key, vc) -> _InputUnit; port_key is the upstream router id,
+        # or ("inj", node) for injection ports.
+        self.inputs: dict[tuple, _InputUnit] = {}
+        self.credits: dict[tuple[int, int], int] = {}
+        self.owner: dict[tuple[int, int], int | None] = {}
+        self.rr: dict[object, int] = {}
+        # Central buffer.
+        self.cb_free = config.central_buffer_flits
+        self.cb_queues: dict[tuple[int, int], deque] = {}
+        self.cb_committed: dict[int, int] = {}  # pid -> flits still to enter CB
+        # Per (out_port, vc): packet whose flits currently stream through the
+        # CB queue.  A CB queue is "part of the output buffer of the
+        # corresponding port and VC" (section 4.3), so it is wormhole-owned —
+        # interleaving two packets in one FIFO would deadlock on ownership.
+        self.cb_stream_owner: dict[tuple[int, int], int] = {}
+
+    def input_keys(self) -> list[tuple]:
+        return list(self.inputs)
+
+
+@dataclass
+class SimResult:
+    """Outcome of one simulation run (measurement window only)."""
+
+    injection_rate: float
+    cycles: int
+    created_packets: int
+    delivered_packets: int
+    delivered_flits: int
+    latencies: list[int]
+    num_nodes: int
+    measure_cycles: int
+    max_injection_backlog: int
+
+    @property
+    def avg_latency(self) -> float:
+        """Mean packet latency in cycles (creation to tail ejection)."""
+        if not self.latencies:
+            return float("nan")
+        return sum(self.latencies) / len(self.latencies)
+
+    @property
+    def p99_latency(self) -> float:
+        if not self.latencies:
+            return float("nan")
+        ordered = sorted(self.latencies)
+        return float(ordered[min(len(ordered) - 1, int(0.99 * len(ordered)))])
+
+    @property
+    def throughput(self) -> float:
+        """Accepted flits per node per cycle during the measurement window."""
+        return self.delivered_flits / (self.num_nodes * self.measure_cycles)
+
+    @property
+    def saturated(self) -> bool:
+        """Offered load exceeded accepted load: packets left undelivered
+        after the drain phase, or a large standing source backlog built up."""
+        if self.created_packets == 0:
+            return False
+        undelivered = self.delivered_packets < 0.90 * self.created_packets
+        return undelivered or self.max_injection_backlog > 120
+
+
+class NoCSimulator(QueueOracle):
+    """Flit-level simulator over a topology + configuration + routing."""
+
+    def __init__(
+        self,
+        topology: Topology,
+        config: SimConfig | None = None,
+        routing: RoutingAlgorithm | None = None,
+        seed: int = 0,
+    ):
+        self.topology = topology
+        self.config = config if config is not None else SimConfig()
+        self.routing = routing if routing is not None else default_routing(topology)
+        if self.routing.topology is not topology:
+            raise ValueError("routing was built for a different topology")
+        if self.routing.num_vcs > self.config.num_vcs:
+            # The routing's deadlock-avoidance scheme dictates the VC count
+            # (e.g. PFBF's diameter-4 hop-index scheme needs 4 VCs).
+            self.config = replace(self.config, num_vcs=self.routing.num_vcs)
+        self.rng = random.Random(seed)
+        self.now = 0
+        self._build()
+        # Adaptive algorithms observe live congestion through this simulator.
+        oracle = getattr(self.routing, "oracle", None)
+        if oracle is not None and not isinstance(oracle, NoCSimulator):
+            self.routing.oracle = self
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+
+    def _build(self) -> None:
+        topo, cfg = self.topology, self.config
+        self.routers = [
+            _Router(r, tuple(sorted(topo.router_neighbors(r))), cfg)
+            for r in range(topo.num_routers)
+        ]
+        self.links: dict[tuple[int, int], CreditLink | ElasticLink] = {}
+        self.link_cycles: dict[tuple[int, int], int] = {}
+        for i, j in topo.edges():
+            lat = link_latency(topo.link_length_hops(i, j), cfg.hops_per_cycle)
+            for a, b in ((i, j), (j, i)):
+                self.link_cycles[(a, b)] = lat
+                if cfg.elastic_links:
+                    self.links[(a, b)] = ElasticLink(lat, cfg.num_vcs)
+                else:
+                    self.links[(a, b)] = CreditLink(lat)
+        for router in self.routers:
+            for neighbor in router.neighbors:
+                lat = self.link_cycles[(neighbor, router.index)]
+                depth = cfg.buffer_depth_for(lat)
+                for vc in range(cfg.num_vcs):
+                    router.inputs[(neighbor, vc)] = _InputUnit(depth)
+            for node in topo.router_nodes(router.index):
+                router.inputs[(("inj", node), 0)] = _InputUnit(10**9)
+            for neighbor in router.neighbors:
+                out_lat = self.link_cycles[(router.index, neighbor)]
+                peer_depth = cfg.buffer_depth_for(out_lat)
+                for vc in range(cfg.num_vcs):
+                    router.credits[(neighbor, vc)] = peer_depth
+                    router.owner[(neighbor, vc)] = None
+        # NIC state.
+        self.eject_credits = [cfg.ejection_queue_flits] * topo.num_nodes
+        self.eject_pipe: deque[tuple[int, Flit]] = deque()
+        self.injection_backlog = [0] * topo.num_nodes
+        self._live_packets: set[int] = set()
+        self._pending_replies: list[tuple[int, int, int]] = []
+        # Occupancy estimate per directed channel, for UGAL.
+        self._channel_occupancy: dict[tuple[int, int], int] = {
+            key: 0 for key in self.links
+        }
+
+    # ------------------------------------------------------------------
+    # QueueOracle (UGAL feedback)
+    # ------------------------------------------------------------------
+
+    def output_queue(self, router: int, neighbor: int) -> int:
+        return self._channel_occupancy.get((router, neighbor), 0)
+
+    # ------------------------------------------------------------------
+    # Packet creation
+    # ------------------------------------------------------------------
+
+    def inject_packet(
+        self,
+        src_node: int,
+        dst_node: int,
+        size: int,
+        kind: str = "data",
+        wants_reply: bool = False,
+        reply_size: int = 0,
+    ) -> Packet:
+        """Create a packet at ``src_node``'s NIC, routed now."""
+        src_router = self.topology.node_router(src_node)
+        dst_router = self.topology.node_router(dst_node)
+        route = self.routing.route(src_router, dst_router)
+        packet = Packet(
+            src=src_node,
+            dst=dst_node,
+            route=route,
+            size=size,
+            created=self.now,
+            kind=kind,
+            wants_reply=wants_reply,
+            reply_size=reply_size,
+        )
+        unit = self.routers[src_router].inputs[(("inj", src_node), 0)]
+        for flit in packet.make_flits():
+            flit.arrival = self.now
+            unit.buffer.append(flit)
+        self.injection_backlog[src_node] = unit.occupancy
+        self._live_packets.add(packet.pid)
+        return packet
+
+    # ------------------------------------------------------------------
+    # One simulated cycle
+    # ------------------------------------------------------------------
+
+    def step(self) -> list[Packet]:
+        """Advance one cycle; returns packets fully ejected this cycle."""
+        self.now += 1
+        self._deliver_credit_links()
+        self._advance_elastic_links()
+        delivered = self._drain_ejection()
+        for router in self.routers:
+            self._arbitrate(router)
+        return delivered
+
+    def _deliver_credit_links(self) -> None:
+        if self.config.elastic_links:
+            return
+        for (src, dst), link in self.links.items():
+            router = self.routers[dst]
+            for flit, vc in link.arrivals(self.now):
+                flit.arrival = self.now
+                router.inputs[(src, vc)].buffer.append(flit)
+            src_router = self.routers[src]
+            for vc in link.credit_arrivals(self.now):
+                src_router.credits[(dst, vc)] += 1
+                self._channel_occupancy[(src, dst)] -= 1
+
+    def _advance_elastic_links(self) -> None:
+        if not self.config.elastic_links:
+            return
+        for (src, dst), link in self.links.items():
+            router = self.routers[dst]
+
+            def staging_free(vc: int, _router=router, _src=src) -> bool:
+                return _router.inputs[(_src, vc)].has_space()
+
+            for flit, vc in link.advance(staging_free):
+                flit.arrival = self.now
+                router.inputs[(src, vc)].buffer.append(flit)
+                self._channel_occupancy[(src, dst)] -= 1
+
+    def _drain_ejection(self) -> list[Packet]:
+        """Flits reaching NICs this cycle; NICs drain one flit per cycle."""
+        finished: list[Packet] = []
+        while self.eject_pipe and self.eject_pipe[0][0] <= self.now:
+            _, flit = self.eject_pipe.popleft()
+            node = flit.packet.dst
+            self.eject_credits[node] += 1  # NIC consumes immediately
+            if flit.is_tail:
+                packet = flit.packet
+                packet.ejected = self.now
+                self._live_packets.discard(packet.pid)
+                finished.append(packet)
+                if packet.wants_reply:
+                    self._pending_replies.append(
+                        (packet.dst, packet.src, packet.reply_size)
+                    )
+        return finished
+
+    def issue_replies(self) -> list[Packet]:
+        """Generate reply packets queued by request deliveries (trace mode)."""
+        replies = []
+        for src, dst, size in self._pending_replies:
+            replies.append(self.inject_packet(src, dst, size, kind="reply"))
+        self._pending_replies.clear()
+        return replies
+
+    # ------------------------------------------------------------------
+    # Switch allocation
+    # ------------------------------------------------------------------
+
+    def _arbitrate(self, router: _Router) -> None:
+        cfg = self.config
+        eligible_at = cfg.router_delay - 1
+        requests: dict[object, list[tuple]] = {}
+
+        for key, unit in router.inputs.items():
+            if not unit.buffer:
+                continue
+            flit: Flit = unit.buffer[0]
+            # Head flits pay the pipeline (route computation + allocation);
+            # body flits inherit the head's state and stream at link rate.
+            if flit.is_head and self.now < flit.arrival + eligible_at:
+                continue
+            if flit.at_destination:
+                out_key: object = ("ej", flit.packet.dst)
+            else:
+                out_key = flit.next_router
+            requests.setdefault(out_key, []).append((key, unit, flit, "in"))
+
+        # CB queues re-arbitrate alongside staged flits.  The CB is modeled
+        # as per-output FIFOs: each output port can drain one CB flit per
+        # cycle (the mux/demux sharing of Figure 8), while CB *writes*
+        # stay limited to one per cycle.
+        for (out_port, vc), queue in router.cb_queues.items():
+            if not queue:
+                continue
+            flit = queue[0]
+            if self.now < flit.arrival:
+                continue
+            requests.setdefault(out_port, []).append(((out_port, vc), queue, flit, "cb"))
+
+        for out_key, candidates in requests.items():
+            winner = self._pick_winner(router, out_key, candidates)
+            granted = False
+            if winner is not None:
+                key, container, flit, origin = winner
+                granted = self._traverse(router, out_key, flit, container, origin)
+            if granted:
+                continue
+            # CBR: losing head flits (and flits of CB-committed packets) fall
+            # into the central buffer when a whole-packet reservation fits.
+            # Writes are per-input-port (banked SRAM / demux sharing): each
+            # blocked staging buffer may spill at most one flit per cycle.
+            if cfg.uses_central_buffer and isinstance(out_key, int):
+                self._try_central_buffer(router, out_key, candidates)
+
+    def _pick_winner(self, router: _Router, out_key, candidates: list[tuple]):
+        """Round-robin among candidates that satisfy VC ownership + space."""
+        viable = [
+            c
+            for c in candidates
+            if self._can_traverse(router, out_key, c[2])
+            and not (c[3] == "in" and c[2].packet.pid in router.cb_committed)
+        ]
+        if not viable:
+            return None
+        pointer = router.rr.get(out_key, 0)
+        router.rr[out_key] = pointer + 1
+        return viable[pointer % len(viable)]
+
+    def _can_traverse(self, router: _Router, out_key, flit: Flit) -> bool:
+        if not isinstance(out_key, int):  # ("ej", node) ejection port
+            return self.eject_credits[flit.packet.dst] > 0
+        vc = flit.next_vc
+        owner = router.owner[(out_key, vc)]
+        if owner is not None and owner != flit.packet.pid:
+            return False
+        if owner is None and not flit.is_head:
+            return False
+        if self.config.elastic_links:
+            link: ElasticLink = self.links[(router.index, out_key)]  # type: ignore
+            return link.can_accept(vc)
+        return router.credits[(out_key, vc)] > 0
+
+    def _traverse(self, router: _Router, out_key, flit: Flit, container, origin: str) -> bool:
+        if not self._can_traverse(router, out_key, flit):
+            return False
+        self._pop_from(router, flit, container, origin)
+        if origin == "cb" and flit.is_tail:
+            router.cb_stream_owner.pop((out_key, flit.next_vc), None)
+        if not isinstance(out_key, int):  # ejection
+            self.eject_credits[flit.packet.dst] -= 1
+            self.eject_pipe.append((self.now + 1, flit))
+            if flit.is_head and flit.packet.injected < 0:
+                flit.packet.injected = self.now
+            return True
+        vc = flit.next_vc
+        if flit.is_head:
+            router.owner[(out_key, vc)] = flit.packet.pid
+            if flit.packet.injected < 0:
+                flit.packet.injected = self.now
+        if flit.is_tail:
+            router.owner[(out_key, vc)] = None
+        flit.hop += 1
+        link = self.links[(router.index, out_key)]
+        if self.config.elastic_links:
+            link.push(flit, vc)  # type: ignore[union-attr]
+        else:
+            router.credits[(out_key, vc)] -= 1
+            link.send_flit(flit, vc, self.now)  # type: ignore[union-attr]
+        self._channel_occupancy[(router.index, out_key)] += 1
+        return True
+
+    def _pop_from(self, router: _Router, flit: Flit, container, origin: str) -> None:
+        if origin == "cb":
+            container.popleft()
+            self.cb_release(router, 1)
+            return
+        unit: _InputUnit = container
+        unit.buffer.popleft()
+        key = self._input_key_of(router, flit)
+        if isinstance(key[0], tuple) and key[0][0] == "inj":
+            node = key[0][1]
+            self.injection_backlog[node] = unit.occupancy
+        elif not self.config.elastic_links:
+            upstream = key[0]
+            self.links[(upstream, router.index)].send_credit(key[1], self.now)  # type: ignore[union-attr]
+
+    @staticmethod
+    def cb_release(router: _Router, flits: int) -> None:
+        router.cb_free += flits
+
+    def _upstream_pressure(self, router: _Router, flit: Flit) -> bool:
+        """Is a flit stuck in the incoming link right behind this one?"""
+        if flit.hop == 0:
+            return False  # injection conflicts wait in the (deep) NIC queue
+        upstream = flit.packet.route.path[flit.hop - 1]
+        vc = flit.packet.route.vcs[flit.hop - 1]
+        link = self.links[(upstream, router.index)]
+        if isinstance(link, ElasticLink):
+            return vc in link.stages[-1]
+        return link.in_flight > 0
+
+    def _input_key_of(self, router: _Router, flit: Flit) -> tuple:
+        if flit.hop == 0:
+            return (("inj", flit.packet.src), 0)
+        upstream = flit.packet.route.path[flit.hop - 1]
+        vc = flit.packet.route.vcs[flit.hop - 1]
+        return (upstream, vc)
+
+    def _try_central_buffer(self, router: _Router, out_key, candidates: list[tuple]) -> bool:
+        """Move one losing staged flit into the CB (atomic per packet).
+
+        A packet only *opens* a CB reservation when its blocked head is
+        holding up traffic — a flit is waiting in the link's final stage
+        behind it — so the CB acts as a conflict overflow (its single
+        R/W port would otherwise serialise the whole router).
+        """
+        for key, unit, flit, origin in candidates:
+            if origin != "in":
+                continue
+            pid = flit.packet.pid
+            vc = flit.next_vc
+            committed = router.cb_committed.get(pid)
+            if committed is None:
+                if not flit.is_head:
+                    continue  # only heads open a CB reservation
+                if router.cb_stream_owner.get((out_key, vc)) is not None:
+                    continue  # another packet streams through this CB queue
+                if self.now - flit.arrival < self.config.cbr_patience:
+                    continue  # transient conflict: keep retrying the bypass
+                if not self._upstream_pressure(router, flit):
+                    continue  # nothing waiting behind: stay on the bypass path
+                if router.cb_free < flit.packet.size:
+                    continue  # atomic allocation: all-or-nothing
+                router.cb_free -= flit.packet.size
+                router.cb_committed[pid] = flit.packet.size
+                router.cb_stream_owner[(out_key, vc)] = pid
+            self._pop_from(router, flit, unit, origin)
+            flit.arrival = self.now + self.config.cbr_penalty
+            router.cb_queues.setdefault((out_key, vc), deque()).append(flit)
+            router.cb_committed[pid] -= 1
+            if router.cb_committed[pid] == 0 or flit.is_tail:
+                del router.cb_committed[pid]
+            return True
+        return False
+
+    # ------------------------------------------------------------------
+    # Top-level run loop
+    # ------------------------------------------------------------------
+
+    def run(
+        self,
+        source,
+        warmup: int = 1000,
+        measure: int = 3000,
+        drain: int = 3000,
+    ) -> SimResult:
+        """Drive ``source`` through warmup + measurement (+ drain) phases.
+
+        ``source`` implements ``packets_at(cycle, rng)`` yielding tuples
+        ``(src_node, dst_node, size, kind, wants_reply, reply_size)``.
+        Packets created during the measurement window are tracked for
+        latency; injection stops after the window and the drain phase lets
+        in-flight packets finish (undelivered tracked packets after the
+        drain flag saturation).
+        """
+        tracked: dict[int, Packet] = {}
+        latencies: list[int] = []
+        delivered_flits = 0
+        created = 0
+        max_backlog = 0
+        horizon = warmup + measure + drain
+        measure_end = warmup + measure
+        for _ in range(horizon):
+            cycle = self.now  # packets for the upcoming cycle
+            if cycle < measure_end:
+                for spec in source.packets_at(cycle, self.rng):
+                    packet = self.inject_packet(*spec)
+                    if warmup <= cycle < measure_end:
+                        created += 1
+                        tracked[packet.pid] = packet
+            finished = self.step()
+            self.issue_replies()
+            for packet in finished:
+                if packet.pid in tracked:
+                    latencies.append(packet.latency)
+                    delivered_flits += packet.size
+                    del tracked[packet.pid]
+            backlog = max(self.injection_backlog, default=0)
+            max_backlog = max(max_backlog, backlog)
+            if self.now >= measure_end and not tracked:
+                break
+        return SimResult(
+            injection_rate=getattr(source, "rate", 0.0),
+            cycles=self.now,
+            created_packets=created,
+            delivered_packets=len(latencies),
+            delivered_flits=delivered_flits,
+            latencies=latencies,
+            num_nodes=self.topology.num_nodes,
+            measure_cycles=measure,
+            max_injection_backlog=max_backlog,
+        )

@@ -1,0 +1,97 @@
+"""Packets and flits for the cycle-accurate model.
+
+A packet carries its full :class:`~repro.routing.algorithms.Route`
+(computed at injection — source routing, as in the paper's deterministic
+setup) and is split into flits.  Flits are deliberately tiny mutable
+objects; the simulator creates millions of them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from itertools import count
+
+from ..routing.algorithms import Route
+
+_packet_ids = count()
+
+
+@dataclass
+class Packet:
+    """One network packet.
+
+    Attributes:
+        src / dst: *Node* ids (not router ids).
+        route: Router-level route including the VC schedule.
+        size: Length in flits.
+        created: Cycle the source generated the packet.
+        injected: Cycle the head flit left the NIC into the router.
+        ejected: Cycle the tail flit reached the destination NIC.
+        kind: Free-form tag used by trace traffic ("read", "write", "reply").
+        wants_reply: Trace traffic: destination generates a reply on arrival.
+    """
+
+    src: int
+    dst: int
+    route: Route
+    size: int
+    created: int
+    kind: str = "data"
+    wants_reply: bool = False
+    reply_size: int = 0
+    pid: int = field(default_factory=lambda: next(_packet_ids))
+    injected: int = -1
+    ejected: int = -1
+
+    @property
+    def latency(self) -> int:
+        """Creation-to-tail-ejection latency (valid once delivered)."""
+        if self.ejected < 0:
+            raise ValueError("packet not delivered yet")
+        return self.ejected - self.created
+
+    def make_flits(self) -> list["Flit"]:
+        return [
+            Flit(
+                packet=self,
+                index=i,
+                is_head=i == 0,
+                is_tail=i == self.size - 1,
+            )
+            for i in range(self.size)
+        ]
+
+
+class Flit:
+    """One flow-control unit.  ``hop`` counts router-to-router traversals
+    completed, indexing into the packet's route and VC schedule."""
+
+    __slots__ = ("packet", "index", "is_head", "is_tail", "hop", "arrival")
+
+    def __init__(self, packet: Packet, index: int, is_head: bool, is_tail: bool):
+        self.packet = packet
+        self.index = index
+        self.is_head = is_head
+        self.is_tail = is_tail
+        self.hop = 0
+        self.arrival = -1  # cycle the flit entered its current buffer
+
+    @property
+    def current_router(self) -> int:
+        return self.packet.route.path[self.hop]
+
+    @property
+    def at_destination(self) -> bool:
+        return self.hop == len(self.packet.route.path) - 1
+
+    @property
+    def next_router(self) -> int:
+        return self.packet.route.path[self.hop + 1]
+
+    @property
+    def next_vc(self) -> int:
+        """VC the flit must use on its next link (fixed by the schedule)."""
+        return self.packet.route.vcs[self.hop]
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Flit(p{self.packet.pid}#{self.index} hop={self.hop})"

@@ -1,0 +1,194 @@
+"""Common topology abstraction shared by Slim NoC and all baselines.
+
+A :class:`Topology` is a set of routers with physical 2D grid coordinates,
+router-router links, and a uniform *concentration* ``p`` (nodes per router).
+Everything downstream — placement/cost models, the cycle-accurate
+simulator, and the area/power models — consumes this interface, so the
+paper's comparisons (Table 4) are apples-to-apples by construction.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from collections import deque
+from functools import cached_property
+
+Coordinate = tuple[int, int]
+
+
+class Topology(ABC):
+    """Abstract direct network: routers + links + attached nodes.
+
+    Concrete subclasses define :meth:`_build_adjacency` and
+    :meth:`_build_coordinates`; the base class provides validated, cached
+    derived quantities (diameter, hop distances, bisection, …).
+    """
+
+    #: Short identifier used in result tables (e.g. ``"sn_subgr"``, ``"fbf3"``).
+    name: str = "topology"
+
+    def __init__(self, concentration: int):
+        if concentration < 1:
+            raise ValueError("concentration must be >= 1")
+        self._concentration = concentration
+
+    # -- subclass responsibilities ----------------------------------------
+
+    @abstractmethod
+    def _build_adjacency(self) -> list[tuple[int, ...]]:
+        """Neighbor lists, one tuple per router."""
+
+    @abstractmethod
+    def _build_coordinates(self) -> dict[int, Coordinate]:
+        """1-based (x, y) grid coordinates, one per router."""
+
+    # -- sizes -------------------------------------------------------------
+
+    @property
+    def concentration(self) -> int:
+        """Nodes attached to each router (the paper's ``p``)."""
+        return self._concentration
+
+    @cached_property
+    def adjacency(self) -> list[tuple[int, ...]]:
+        adj = self._build_adjacency()
+        for router, neighbors in enumerate(adj):
+            if router in neighbors:
+                raise ValueError(f"router {router} has a self-loop")
+            if len(set(neighbors)) != len(neighbors):
+                raise ValueError(f"router {router} has duplicate links")
+            for neighbor in neighbors:
+                if router not in adj[neighbor]:
+                    raise ValueError(f"link {router}->{neighbor} is not symmetric")
+        return adj
+
+    @property
+    def num_routers(self) -> int:
+        return len(self.adjacency)
+
+    @property
+    def num_nodes(self) -> int:
+        return self.num_routers * self._concentration
+
+    @property
+    def network_radix(self) -> int:
+        """Maximum router-router ports, the paper's ``k'``."""
+        return max(len(n) for n in self.adjacency)
+
+    @property
+    def router_radix(self) -> int:
+        """Total ports including node ports, the paper's ``k = k' + p``."""
+        return self.network_radix + self._concentration
+
+    # -- nodes ---------------------------------------------------------------
+
+    def node_router(self, node: int) -> int:
+        """Router to which ``node`` is attached."""
+        if not 0 <= node < self.num_nodes:
+            raise ValueError(f"node {node} out of range")
+        return node // self._concentration
+
+    def router_nodes(self, router: int) -> range:
+        p = self._concentration
+        return range(router * p, (router + 1) * p)
+
+    # -- structure -----------------------------------------------------------
+
+    def router_neighbors(self, router: int) -> tuple[int, ...]:
+        return self.adjacency[router]
+
+    def edges(self) -> list[tuple[int, int]]:
+        """Undirected links as (i, j) with i < j."""
+        return [
+            (i, j)
+            for i, neighbors in enumerate(self.adjacency)
+            for j in neighbors
+            if i < j
+        ]
+
+    def num_links(self) -> int:
+        return sum(len(n) for n in self.adjacency) // 2
+
+    @cached_property
+    def coordinates(self) -> dict[int, Coordinate]:
+        coords = self._build_coordinates()
+        if len(coords) != self.num_routers:
+            raise ValueError("coordinates must cover every router")
+        if len(set(coords.values())) != len(coords):
+            raise ValueError("two routers share a grid slot")
+        return coords
+
+    def grid_extent(self) -> tuple[int, int]:
+        """(max x, max y) of the router grid."""
+        xs = [c[0] for c in self.coordinates.values()]
+        ys = [c[1] for c in self.coordinates.values()]
+        return max(xs), max(ys)
+
+    def link_length_hops(self, i: int, j: int) -> int:
+        """Physical wire length of link (i, j) in router-grid hops."""
+        xi, yi = self.coordinates[i]
+        xj, yj = self.coordinates[j]
+        return abs(xi - xj) + abs(yi - yj)
+
+    def average_wire_length(self) -> float:
+        """Mean link length in hops — the paper's ``M`` (Eq. 4)."""
+        links = self.edges()
+        if not links:
+            return 0.0
+        return sum(self.link_length_hops(i, j) for i, j in links) / len(links)
+
+    # -- graph metrics ---------------------------------------------------------
+
+    def shortest_hops_from(self, source: int) -> list[int]:
+        """BFS hop counts from ``source`` to every router."""
+        dist = [-1] * self.num_routers
+        dist[source] = 0
+        frontier = deque([source])
+        while frontier:
+            current = frontier.popleft()
+            for neighbor in self.adjacency[current]:
+                if dist[neighbor] < 0:
+                    dist[neighbor] = dist[current] + 1
+                    frontier.append(neighbor)
+        if any(d < 0 for d in dist):
+            raise ValueError("topology is disconnected")
+        return dist
+
+    @cached_property
+    def diameter(self) -> int:
+        return max(max(self.shortest_hops_from(s)) for s in range(self.num_routers))
+
+    def average_hop_distance(self) -> float:
+        """Mean router-to-router shortest-path hops."""
+        total = 0
+        nr = self.num_routers
+        for source in range(nr):
+            total += sum(self.shortest_hops_from(source))
+        return total / (nr * (nr - 1))
+
+    def bisection_links(self) -> int:
+        """Links crossing a median cut of the die (minimum over both axes).
+
+        A physical-layout proxy for bisection bandwidth, matching how the
+        paper compares FBF/PFBF/SN bandwidths on a die.  Taking the
+        minimum over the two cut orientations makes the metric independent
+        of how a rectangular die is rotated.
+        """
+        counts = []
+        for axis in (0, 1):
+            values = sorted(c[axis] for c in self.coordinates.values())
+            median = values[len(values) // 2]
+            count = 0
+            for i, j in self.edges():
+                vi = self.coordinates[i][axis]
+                vj = self.coordinates[j][axis]
+                if (vi < median) != (vj < median):
+                    count += 1
+            counts.append(count)
+        return min(counts)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"{type(self).__name__}(name={self.name!r}, routers={self.num_routers}, "
+            f"nodes={self.num_nodes}, k'={self.network_radix})"
+        )

@@ -1,0 +1,71 @@
+"""Balanced Dragonfly (Kim et al., ISCA'08) for the paper's section 2.2 study.
+
+The paper compares a naive on-chip Dragonfly against Slim Fly (Figure 3).
+A balanced DF with per-router group size ``a``, global links per router
+``h``, and concentration ``p`` uses ``a = 2p = 2h`` and has
+``g = a*h + 1`` fully connected groups; every pair of groups is joined by
+exactly one global link (diameter 3).
+"""
+
+from __future__ import annotations
+
+import math
+
+from .base import Coordinate, Topology
+
+
+class Dragonfly(Topology):
+    """Balanced Dragonfly defined by the global-links-per-router count ``h``.
+
+    Routers per group ``a = 2h``, groups ``g = a*h + 1``, so the network
+    has ``a * g`` routers of network radix ``(a - 1) + h``.
+    """
+
+    def __init__(self, h: int, concentration: int | None = None, name: str = "df"):
+        if h < 1:
+            raise ValueError("h must be >= 1")
+        self.h = h
+        self.group_size = 2 * h
+        self.num_groups = self.group_size * h + 1
+        super().__init__(concentration if concentration is not None else h)
+        self.name = name
+
+    def group_of(self, router: int) -> int:
+        return router // self.group_size
+
+    def _build_adjacency(self) -> list[tuple[int, ...]]:
+        total = self.group_size * self.num_groups
+        adjacency: list[set[int]] = [set() for _ in range(total)]
+        for router in range(total):  # intra-group clique
+            group = self.group_of(router)
+            base = group * self.group_size
+            for peer in range(base, base + self.group_size):
+                if peer != router:
+                    adjacency[router].add(peer)
+        # Global links: each group numbers its g-1 peers consecutively
+        # (skipping itself); slot s is handled by the group's router s // h.
+        # This is the standard consecutive assignment — every group pair
+        # gets exactly one link, every router exactly h global links.
+        def endpoint(group: int, peer: int) -> int:
+            slot = peer if peer < group else peer - 1
+            return group * self.group_size + slot // self.h
+
+        for ga in range(self.num_groups):
+            for gb in range(ga + 1, self.num_groups):
+                router_a = endpoint(ga, gb)
+                router_b = endpoint(gb, ga)
+                adjacency[router_a].add(router_b)
+                adjacency[router_b].add(router_a)
+        return [tuple(sorted(n)) for n in adjacency]
+
+    def _build_coordinates(self) -> dict[int, Coordinate]:
+        """Groups tiled in a near-square grid; each group is a router row."""
+        total = self.group_size * self.num_groups
+        group_cols = max(1, math.isqrt(self.num_groups))
+        coords = {}
+        for router in range(total):
+            group = self.group_of(router)
+            local = router % self.group_size
+            gx, gy = group % group_cols, group // group_cols
+            coords[router] = (gx * self.group_size + local + 1, gy + 1)
+        return coords

@@ -1,0 +1,64 @@
+"""Two-level folded Clos (fat tree) — the paper's hierarchical comparison.
+
+Section 5.5 briefly compares Slim NoC against a folded Clos representing
+indirect hierarchical NoCs (Kilo-core-style).  Leaf routers host the
+nodes; every leaf connects to every spine router.  Spine routers host no
+nodes, so this topology overrides the node bookkeeping of the direct-
+network base class.
+"""
+
+from __future__ import annotations
+
+import math
+
+from .base import Coordinate, Topology
+
+
+class FoldedClos(Topology):
+    """Leaf-spine folded Clos with full leaf-spine connectivity.
+
+    Args:
+        leaves: Number of leaf routers (each hosting ``concentration`` nodes).
+        spines: Number of spine routers.
+        concentration: Nodes per leaf.
+    """
+
+    def __init__(self, leaves: int, spines: int, concentration: int, name: str = "clos"):
+        if leaves < 2 or spines < 1:
+            raise ValueError("need at least 2 leaves and 1 spine")
+        super().__init__(concentration)
+        self.leaves = leaves
+        self.spines = spines
+        self.name = name
+
+    @property
+    def num_nodes(self) -> int:
+        return self.leaves * self.concentration
+
+    def node_router(self, node: int) -> int:
+        if not 0 <= node < self.num_nodes:
+            raise ValueError(f"node {node} out of range")
+        return node // self.concentration  # leaves come first
+
+    def router_nodes(self, router: int) -> range:
+        if router >= self.leaves:
+            return range(0)
+        p = self.concentration
+        return range(router * p, (router + 1) * p)
+
+    def _build_adjacency(self) -> list[tuple[int, ...]]:
+        spine_ids = tuple(range(self.leaves, self.leaves + self.spines))
+        leaf_ids = tuple(range(self.leaves))
+        return [spine_ids] * self.leaves + [leaf_ids] * self.spines
+
+    def _build_coordinates(self) -> dict[int, Coordinate]:
+        """Leaves tile a near-square grid; spines sit on a row above it."""
+        cols = max(2, math.isqrt(self.leaves))
+        coords: dict[int, Coordinate] = {}
+        for leaf in range(self.leaves):
+            coords[leaf] = (leaf % cols + 1, leaf // cols + 1)
+        leaf_rows = (self.leaves + cols - 1) // cols
+        for i in range(self.spines):
+            spacing = max(1, cols // max(1, self.spines))
+            coords[self.leaves + i] = (i * spacing + 1, leaf_rows + 1)
+        return coords

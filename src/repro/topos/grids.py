@@ -1,0 +1,98 @@
+"""Grid-based low-radix baselines: 2D torus and concentrated mesh.
+
+These are the paper's low-radix comparison points (Table 4: ``t2d*`` and
+``cm*``).  Routers sit on a ``cols x rows`` grid, indexed row-major; each
+router serves ``p`` nodes.
+"""
+
+from __future__ import annotations
+
+from .base import Coordinate, Topology
+
+
+class _GridTopology(Topology):
+    """Shared plumbing for topologies whose routers tile a rectangle."""
+
+    def __init__(self, cols: int, rows: int, concentration: int):
+        if cols < 2 or rows < 1:
+            raise ValueError("grid must be at least 2x1")
+        super().__init__(concentration)
+        self.cols = cols
+        self.rows = rows
+
+    def router_at(self, x: int, y: int) -> int:
+        """Router index at 0-based grid position."""
+        return y * self.cols + x
+
+    def position_of(self, router: int) -> tuple[int, int]:
+        return router % self.cols, router // self.cols
+
+    def _build_coordinates(self) -> dict[int, Coordinate]:
+        return {
+            r: (r % self.cols + 1, r // self.cols + 1)
+            for r in range(self.cols * self.rows)
+        }
+
+
+class ConcentratedMesh(_GridTopology):
+    """2D mesh with concentration (the paper's CM, after Balfour & Dally).
+
+    Diameter is ``cols + rows - 2``; network radix 4 (interior routers).
+    """
+
+    def __init__(self, cols: int, rows: int, concentration: int, name: str = "cm"):
+        super().__init__(cols, rows, concentration)
+        self.name = name
+
+    def _build_adjacency(self) -> list[tuple[int, ...]]:
+        adjacency = []
+        for router in range(self.cols * self.rows):
+            x, y = self.position_of(router)
+            neighbors = []
+            if x > 0:
+                neighbors.append(self.router_at(x - 1, y))
+            if x < self.cols - 1:
+                neighbors.append(self.router_at(x + 1, y))
+            if y > 0:
+                neighbors.append(self.router_at(x, y - 1))
+            if y < self.rows - 1:
+                neighbors.append(self.router_at(x, y + 1))
+            adjacency.append(tuple(neighbors))
+        return adjacency
+
+
+class Torus2D(_GridTopology):
+    """2D torus (the paper's T2D).
+
+    Wrap-around links exist in both dimensions.  Physically the torus is
+    assumed folded so that every link connects near neighbors; the paper
+    treats torus/mesh wires as "mostly single-cycle", so
+    :meth:`link_length_hops` reports the ring metric (1 for every link).
+    """
+
+    def __init__(self, cols: int, rows: int, concentration: int, name: str = "t2d"):
+        if cols < 3 or rows < 3:
+            raise ValueError("torus needs at least 3x3 to avoid duplicate links")
+        super().__init__(cols, rows, concentration)
+        self.name = name
+
+    def _build_adjacency(self) -> list[tuple[int, ...]]:
+        adjacency = []
+        for router in range(self.cols * self.rows):
+            x, y = self.position_of(router)
+            neighbors = (
+                self.router_at((x - 1) % self.cols, y),
+                self.router_at((x + 1) % self.cols, y),
+                self.router_at(x, (y - 1) % self.rows),
+                self.router_at(x, (y + 1) % self.rows),
+            )
+            adjacency.append(tuple(sorted(set(neighbors))))
+        return adjacency
+
+    def link_length_hops(self, i: int, j: int) -> int:
+        """Ring-metric wire length: folded layout keeps all links short."""
+        xi, yi = self.position_of(i)
+        xj, yj = self.position_of(j)
+        dx = min(abs(xi - xj), self.cols - abs(xi - xj))
+        dy = min(abs(yi - yj), self.rows - abs(yi - yj))
+        return dx + dy

@@ -1,0 +1,14 @@
+"""Traffic: synthetic patterns and PARSEC/SPLASH-like workload models."""
+
+from .synthetic import PATTERNS, SyntheticSource, make_pattern
+from .workloads import WORKLOADS, WorkloadSource, WorkloadSpec, workload_names
+
+__all__ = [
+    "PATTERNS",
+    "make_pattern",
+    "SyntheticSource",
+    "WORKLOADS",
+    "WorkloadSpec",
+    "WorkloadSource",
+    "workload_names",
+]

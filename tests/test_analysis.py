@@ -1,0 +1,133 @@
+"""Tests for the analysis harness: sweeps, large-N model, metrics."""
+
+import math
+
+import pytest
+
+from repro.analysis import (
+    LargeScaleModel,
+    compare_networks,
+    format_table,
+    geometric_mean,
+    relative_improvement,
+    sweep_loads,
+)
+from repro.sim import SimConfig
+from repro.topos import make_network
+
+
+class TestSweep:
+    def test_latency_rises_with_load(self):
+        topo = make_network("sn54")
+        result = sweep_loads(
+            topo, "RND", [0.02, 0.2], warmup=200, measure=400, drain=800
+        )
+        assert result.latencies[0] < result.latencies[-1] * 1.5 + 5
+
+    def test_stops_after_saturation(self):
+        topo = make_network("cm54")  # low-radix: saturates early
+        result = sweep_loads(
+            topo, "RND", [0.05, 0.6, 0.8], warmup=200, measure=300, drain=600
+        )
+        assert result.points[-1].saturated or len(result.points) == 3
+        if result.points[-1].saturated:
+            assert len(result.points) < 3
+
+    def test_zero_load_and_lookup(self):
+        topo = make_network("sn54")
+        result = sweep_loads(topo, "RND", [0.02, 0.1], warmup=200, measure=300, drain=600)
+        assert result.zero_load_latency() == result.points[0].latency
+        assert result.latency_at(0.02) == result.points[0].latency
+        assert result.saturation_throughput() > 0
+
+    def test_empty_sweep_raises(self):
+        from repro.analysis.sweep import SweepResult
+
+        empty = SweepResult("x", "RND")
+        with pytest.raises(ValueError):
+            empty.zero_load_latency()
+        with pytest.raises(ValueError):
+            empty.latency_at(0.1)
+
+    def test_compare_networks(self):
+        topos = {"sn54": make_network("sn54"), "t2d54": make_network("t2d54")}
+        results = compare_networks(
+            topos, "RND", [0.02], warmup=150, measure=250, drain=400
+        )
+        assert set(results) == {"sn54", "t2d54"}
+        assert results["sn54"].network == "sn54"
+
+
+class TestLargeScaleModel:
+    def test_zero_load_reasonable(self):
+        model = LargeScaleModel.build(make_network("sn1296"), "RND")
+        assert 15 < model.zero_load_latency() < 50
+
+    def test_smart_lowers_zero_load(self):
+        topo = make_network("sn1296")
+        plain = LargeScaleModel.build(topo, "RND")
+        smart = LargeScaleModel.build(topo, "RND", SimConfig().with_smart())
+        assert smart.zero_load_latency() < plain.zero_load_latency()
+
+    def test_latency_monotone_in_load(self):
+        model = LargeScaleModel.build(make_network("sn1296"), "RND")
+        rates = [0.01, 0.1, 0.3, 0.5]
+        latencies = [model.latency(r) for r in rates]
+        assert latencies == sorted(latencies)
+
+    def test_saturation_is_infinite_latency(self):
+        model = LargeScaleModel.build(make_network("sn1296"), "RND")
+        assert math.isinf(model.latency(model.saturation_rate * 1.01))
+        with pytest.raises(ValueError):
+            model.latency(-0.1)
+
+    def test_sn_throughput_far_above_torus(self):
+        """Paper section 5.2.2: SN improves throughput 10x over T2D at 1296."""
+        sn = LargeScaleModel.build(make_network("sn1296"), "RND")
+        t2d = LargeScaleModel.build(make_network("t2d9"), "RND")
+        assert sn.saturation_rate > 8 * t2d.saturation_rate
+
+    def test_sn_beats_pfbf_latency_with_smart(self):
+        """Paper Figs 12-13 (SMART): SN's latency is ~6-25% below PFBF's —
+        with single-cycle wires, SN's diameter-2 advantage dominates."""
+        smart = SimConfig().with_smart()
+        sn = LargeScaleModel.build(make_network("sn1296"), "RND", smart)
+        pfbf = LargeScaleModel.build(make_network("pfbf9"), "RND", smart)
+        assert sn.zero_load_latency() < pfbf.zero_load_latency()
+
+    def test_sweep_compatible_output(self):
+        model = LargeScaleModel.build(make_network("sn1296"), "RND")
+        result = model.sweep([0.01, 0.1, 2.0])
+        assert result.points[-1].saturated
+        assert result.points[0].latency < result.points[1].latency
+
+    def test_model_tracks_simulator_at_small_n(self):
+        """Cross-check: analytical zero-load within ~40% of cycle-accurate."""
+        topo = make_network("sn200")
+        model = LargeScaleModel.build(topo, "RND")
+        simulated = sweep_loads(topo, "RND", [0.01], warmup=200, measure=400, drain=600)
+        ratio = model.zero_load_latency() / simulated.zero_load_latency()
+        assert 0.6 < ratio < 1.4
+
+
+class TestMetrics:
+    def test_geometric_mean(self):
+        assert geometric_mean([1, 4]) == pytest.approx(2.0)
+        assert geometric_mean([2, 2, 2]) == pytest.approx(2.0)
+
+    def test_geometric_mean_validation(self):
+        with pytest.raises(ValueError):
+            geometric_mean([])
+        with pytest.raises(ValueError):
+            geometric_mean([1.0, -1.0])
+
+    def test_relative_improvement(self):
+        assert relative_improvement(45, 100) == pytest.approx(0.55)
+        with pytest.raises(ValueError):
+            relative_improvement(1, 0)
+
+    def test_format_table(self):
+        text = format_table(["net", "lat"], [["sn", 12.5], ["fbf", 14.0]], title="T")
+        assert "T" in text and "sn" in text and "12.5" in text
+        lines = text.splitlines()
+        assert set(lines[2]) <= {"-", " "}

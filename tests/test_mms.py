@@ -1,0 +1,197 @@
+"""Tests for MMS graph construction — the Slim NoC backbone invariants."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.mms import (
+    MMSGraph,
+    RouterLabel,
+    generator_sets,
+    mms_graph,
+    mms_params,
+    u_for_q,
+)
+
+PAPER_QS = [2, 3, 4, 5, 7, 8, 9, 11]
+
+
+class TestParams:
+    def test_u_values(self):
+        assert u_for_q(5) == 1
+        assert u_for_q(9) == 1
+        assert u_for_q(3) == -1
+        assert u_for_q(7) == -1
+        assert u_for_q(11) == -1
+        assert u_for_q(4) == 0
+        assert u_for_q(8) == 0
+
+    def test_u_rejects_non_prime_power_shapes(self):
+        with pytest.raises(ValueError):
+            u_for_q(15)
+
+    @pytest.mark.parametrize(
+        "q,nr,radix",
+        [(2, 8, 3), (3, 18, 5), (4, 32, 6), (5, 50, 7), (7, 98, 11), (8, 128, 12), (9, 162, 13), (11, 242, 17)],
+    )
+    def test_table2_router_counts_and_radix(self, q, nr, radix):
+        params = mms_params(q)
+        assert params.nr == nr
+        assert params.network_radix == radix
+
+    def test_rejects_non_prime_power(self):
+        with pytest.raises(ValueError):
+            mms_params(6)
+
+    def test_moore_bound(self):
+        params = mms_params(5)
+        assert params.moore_bound == 1 + 7 + 7 * 6  # = 50: Hoffman-Singleton
+        assert params.moore_ratio == 1.0
+
+    def test_intra_degree(self):
+        assert mms_params(9).intra_degree == 4  # |X| = (q-1)/2 for u=1
+
+
+@pytest.mark.parametrize("q", PAPER_QS)
+class TestGraphInvariants:
+    def test_regular(self, q):
+        g = mms_graph(q)
+        assert all(len(n) == g.network_radix for n in g.neighbors)
+
+    def test_diameter_two(self, q):
+        assert mms_graph(q).diameter() == 2
+
+    def test_edge_count(self, q):
+        g = mms_graph(q)
+        assert g.num_edges() == g.num_routers * g.network_radix // 2
+        assert len(g.edges()) == g.num_edges()
+
+    def test_symmetric_adjacency(self, q):
+        g = mms_graph(q)
+        for i in range(g.num_routers):
+            for j in g.neighbors[i]:
+                assert i in g.neighbors[j]
+                assert g.are_connected(i, j)
+                assert g.are_connected(j, i)
+
+    def test_no_self_loops(self, q):
+        g = mms_graph(q)
+        assert all(i not in g.neighbors[i] for i in range(g.num_routers))
+
+    def test_average_path_below_diameter(self, q):
+        g = mms_graph(q)
+        assert 1.0 < g.average_shortest_path() < 2.0
+
+
+@pytest.mark.parametrize("q", PAPER_QS)
+class TestGeneratorSets:
+    def test_sizes(self, q):
+        params = mms_params(q)
+        x_set, x_prime = generator_sets(q)
+        assert len(x_set) == params.intra_degree
+        assert len(x_prime) == params.intra_degree
+
+    def test_sets_are_symmetric(self, q):
+        """X = -X (required so intra-subgroup links are undirected)."""
+        from repro.fields import finite_field
+
+        field = finite_field(q)
+        x_set, x_prime = generator_sets(q)
+        assert {field.neg(e) for e in x_set} == set(x_set)
+        assert {field.neg(e) for e in x_prime} == set(x_prime)
+
+    def test_sets_exclude_zero(self, q):
+        x_set, x_prime = generator_sets(q)
+        assert 0 not in x_set and 0 not in x_prime
+
+
+class TestSubgroupStructure:
+    """Paper section 2.1: subgroups form a fully-connected bipartite graph."""
+
+    @pytest.mark.parametrize("q", [5, 8, 9])
+    def test_no_links_between_same_type_different_subgroup(self, q):
+        g = mms_graph(q)
+        for i in range(g.num_routers):
+            type_i, sub_i = g.subgroup_of(i)
+            for j in g.neighbors[i]:
+                type_j, sub_j = g.subgroup_of(j)
+                if type_i == type_j:
+                    assert sub_i == sub_j  # same-type links stay in-subgroup
+
+    @pytest.mark.parametrize("q", [5, 8, 9])
+    def test_q_links_between_opposite_subgroups(self, q):
+        """Every (type-0, type-1) subgroup pair is joined by exactly q links."""
+        g = mms_graph(q)
+        counts: dict[tuple[int, int], int] = {}
+        for i, j in g.edges():
+            type_i, sub_i = g.subgroup_of(i)
+            type_j, sub_j = g.subgroup_of(j)
+            if type_i != type_j:
+                key = (sub_i, sub_j) if type_i == 0 else (sub_j, sub_i)
+                counts[key] = counts.get(key, 0) + 1
+        assert set(counts.values()) == {q}
+        assert len(counts) == q * q
+
+    @pytest.mark.parametrize("q", [5, 9])
+    def test_groups_form_uniform_clique(self, q):
+        """Merged groups form a clique with a *uniform* link count per pair.
+
+        With the (0,a)+(1,a) pairing every group pair is joined by exactly
+        2q cables (the paper's Figure 2a states 2(q-1) under its own
+        subgroup pairing; the invariant that matters — full connectivity
+        with equal multiplicity — is what we assert).
+        """
+        g = mms_graph(q)
+        counts: dict[tuple[int, int], int] = {}
+        for i, j in g.edges():
+            ga, gb = g.group_of(i), g.group_of(j)
+            if ga != gb:
+                key = (min(ga, gb), max(ga, gb))
+                counts[key] = counts.get(key, 0) + 1
+        assert set(counts.values()) == {2 * q}
+        assert len(counts) == q * (q - 1) // 2
+
+
+class TestLabels:
+    def test_label_roundtrip(self):
+        g = mms_graph(5)
+        for index in range(g.num_routers):
+            assert g.index_of(g.label(index)) == index
+
+    def test_label_ranges(self):
+        g = mms_graph(9)
+        for index in range(g.num_routers):
+            label = g.label(index)
+            assert label.group_type in (0, 1)
+            assert 1 <= label.subgroup <= 9
+            assert 1 <= label.position <= 9
+
+    def test_paper_index_formula(self):
+        """i = G*q^2 + (a-1)*q + b with the paper's 1-based i."""
+        g = mms_graph(5)
+        label = RouterLabel(group_type=1, subgroup=3, position=2)
+        assert g.index_of(label) == 1 * 25 + 2 * 5 + 1
+
+    def test_label_str(self):
+        assert str(RouterLabel(0, 2, 3)) == "[0|2,3]"
+
+    def test_cached_graphs_are_shared(self):
+        assert mms_graph(5) is mms_graph(5)
+
+
+@given(st.sampled_from([3, 4, 5, 8]), st.data())
+@settings(max_examples=60, deadline=None)
+def test_any_two_routers_within_two_hops(q, data):
+    """Property: diameter 2 means a common neighbor exists for non-adjacent pairs."""
+    g = mms_graph(q)
+    i = data.draw(st.integers(0, g.num_routers - 1))
+    j = data.draw(st.integers(0, g.num_routers - 1))
+    if i == j or g.are_connected(i, j):
+        return
+    assert set(g.neighbors[i]) & set(g.neighbors[j])
+
+
+def test_direct_construction_matches_cache():
+    g = MMSGraph(5)
+    cached = mms_graph(5)
+    assert g.neighbors == cached.neighbors

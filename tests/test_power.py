@@ -1,0 +1,215 @@
+"""Tests for the area/power/energy models — the paper's comparison metrics."""
+
+import math
+
+import pytest
+
+from repro.power import (
+    TECH_22NM,
+    TECH_45NM,
+    average_route_stats,
+    dynamic_power,
+    make_metrics,
+    network_area,
+    normalize,
+    static_power,
+    technology,
+    tile_side_mm,
+)
+from repro.power.area import crossbar_area_mm2, router_buffer_flits, total_wire_mm
+from repro.topos import cycle_time_ns, make_network
+
+
+class TestTechnology:
+    def test_lookup(self):
+        assert technology(45) is TECH_45NM
+        assert technology(22) is TECH_22NM
+        with pytest.raises(ValueError):
+            technology(7)
+
+    def test_node_scaling(self):
+        assert TECH_22NM.sram_bit_area_mm2 < TECH_45NM.sram_bit_area_mm2
+        assert TECH_22NM.buffer_energy_j_per_bit < TECH_45NM.buffer_energy_j_per_bit
+        assert TECH_22NM.voltage < TECH_45NM.voltage
+
+    def test_wires_scale_worse_than_logic(self):
+        """The paper's 22nm observation: wires shrink less than logic."""
+        logic_scale = TECH_22NM.sram_bit_area_mm2 / TECH_45NM.sram_bit_area_mm2
+        wire_scale = TECH_22NM.wire_pitch_mm / TECH_45NM.wire_pitch_mm
+        assert wire_scale > logic_scale
+
+    def test_tile_side(self):
+        assert tile_side_mm(TECH_45NM, 4) == pytest.approx(4.0)
+        assert tile_side_mm(TECH_22NM, 4) == pytest.approx(2.0)
+
+
+class TestAreaModel:
+    def test_crossbar_quadratic_in_radix(self):
+        a10 = crossbar_area_mm2(TECH_45NM, 10)
+        a20 = crossbar_area_mm2(TECH_45NM, 20)
+        assert a20 == pytest.approx(4 * a10)
+
+    def test_buffer_flits_fixed_depth(self):
+        sn = make_network("sn200")
+        flits = router_buffer_flits(sn, vcs=2, edge_buffer_flits=5)
+        assert flits == [7 * 2 * 5] * 50  # k'=7 ports, 2 VCs, 5 flits
+
+    def test_buffer_flits_variable_depth(self):
+        sn = make_network("sn200")
+        fixed = router_buffer_flits(sn, edge_buffer_flits=5)
+        variable = router_buffer_flits(sn, edge_buffer_flits=None)
+        assert sum(variable) > sum(fixed)  # RTT-sized buffers are deeper
+
+    def test_smart_shrinks_variable_buffers(self):
+        sn = make_network("sn1296")
+        plain = router_buffer_flits(sn, hops_per_cycle=1, edge_buffer_flits=None)
+        smart = router_buffer_flits(sn, hops_per_cycle=9, edge_buffer_flits=None)
+        assert sum(smart) < sum(plain)
+
+    def test_central_buffer_flits(self):
+        sn = make_network("sn200")
+        flits = router_buffer_flits(sn, central_buffer_flits=20)
+        assert flits == [20 + 2 * 7 * 2] * 50
+
+    def test_wire_mm_positive_and_layout_sensitive(self):
+        basic = make_network("sn200", layout="sn_basic")
+        subgr = make_network("sn200", layout="sn_subgr")
+        assert total_wire_mm(subgr, TECH_45NM) < total_wire_mm(basic, TECH_45NM)
+
+    def test_breakdown_sums_to_total(self):
+        sn = make_network("sn200")
+        report = network_area(sn, TECH_45NM)
+        assert report.total == pytest.approx(sum(report.breakdown().values()))
+
+    def test_paper_fig16_sn_beats_fbf_area(self):
+        """SN reduces area over FBF by roughly 33-50% (Figures 15-17)."""
+        sn = make_network("sn200")
+        fbf = make_network("fbf4")
+        ratio = network_area(sn, TECH_45NM).total / network_area(fbf, TECH_45NM).total
+        assert 0.4 < ratio < 0.75
+
+    def test_paper_low_radix_smallest(self):
+        sn = make_network("sn200")
+        t2d = make_network("t2d4")
+        assert network_area(t2d, TECH_45NM).total < network_area(sn, TECH_45NM).total
+
+    def test_22nm_smaller_than_45nm(self):
+        sn = make_network("sn200")
+        assert network_area(sn, TECH_22NM).total < network_area(sn, TECH_45NM).total
+
+
+class TestStaticPower:
+    def test_components_positive(self):
+        report = static_power(make_network("sn200"), TECH_45NM)
+        assert report.buffers > 0 and report.crossbars > 0 and report.wires > 0
+        assert report.total == pytest.approx(sum(report.breakdown().values()))
+
+    def test_sn_beats_fbf_static(self):
+        """Paper: SN reduces static power over FBF by ~45-60%."""
+        sn = static_power(make_network("sn200"), TECH_45NM).total
+        fbf = static_power(make_network("fbf4"), TECH_45NM).total
+        assert 0.35 < sn / fbf < 0.70
+
+    def test_sn_beats_pfbf_static(self):
+        sn = static_power(make_network("sn200"), TECH_45NM).total
+        pfbf = static_power(make_network("pfbf4"), TECH_45NM).total
+        assert sn < pfbf
+
+    def test_low_radix_lowest_static(self):
+        t2d = static_power(make_network("t2d4"), TECH_45NM).total
+        sn = static_power(make_network("sn200"), TECH_45NM).total
+        assert sn > 1.4 * t2d  # paper: SN uses >40% more static than T2D
+
+
+class TestDynamicPower:
+    def test_scales_with_rate(self):
+        sn = make_network("sn200")
+        stats = average_route_stats(sn)
+        low = dynamic_power(sn, TECH_45NM, 0.01, 0.5, stats).total
+        high = dynamic_power(sn, TECH_45NM, 0.10, 0.5, stats).total
+        assert high > low
+        with pytest.raises(ValueError):
+            dynamic_power(sn, TECH_45NM, -0.1, 0.5, stats)
+
+    def test_sn_beats_fbf_dynamic(self):
+        """Paper Figure 16c: SN's dynamic power is below FBF's."""
+        sn_t = make_network("sn200")
+        fbf_t = make_network("fbf3")
+        sn = dynamic_power(sn_t, TECH_45NM, 0.05, 0.5, average_route_stats(sn_t)).total
+        fbf = dynamic_power(fbf_t, TECH_45NM, 0.05, 0.6, average_route_stats(fbf_t)).total
+        assert sn < fbf
+
+    def test_clock_power_floor(self):
+        """Even at zero activity, clocked buffers burn dynamic power."""
+        sn = make_network("sn200")
+        report = dynamic_power(sn, TECH_45NM, 0.0, 0.5, average_route_stats(sn))
+        assert report.buffers > 0
+
+    def test_route_stats(self):
+        sn = make_network("sn200")
+        hops, wire = average_route_stats(sn)
+        assert 1.0 < hops < 2.0  # diameter-2 network
+        assert wire > hops  # physical length exceeds hop count
+
+
+class TestEnergyMetrics:
+    def test_throughput_per_power(self):
+        metrics = make_metrics(
+            throughput_flits_per_cycle=100.0,
+            cycle_time_ns=0.5,
+            static=static_power(make_network("sn200"), TECH_45NM),
+            dynamic=dynamic_power(make_network("sn200"), TECH_45NM, 0.05, 0.5),
+            avg_latency_cycles=25.0,
+        )
+        assert metrics.throughput_per_power > 0
+        assert metrics.energy_delay_product > 0
+        assert metrics.total_power_w == pytest.approx(
+            metrics.static_power_w + metrics.dynamic_power_w
+        )
+
+    def test_edp_increases_with_latency(self):
+        static = static_power(make_network("sn200"), TECH_45NM)
+        dynamic = dynamic_power(make_network("sn200"), TECH_45NM, 0.05, 0.5)
+        fast = make_metrics(100.0, 0.5, static, dynamic, 20.0)
+        slow = make_metrics(100.0, 0.5, static, dynamic, 40.0)
+        assert slow.energy_delay_product > fast.energy_delay_product
+
+    def test_zero_throughput_edp_infinite(self):
+        static = static_power(make_network("sn200"), TECH_45NM)
+        dynamic = dynamic_power(make_network("sn200"), TECH_45NM, 0.0, 0.5)
+        metrics = make_metrics(0.0, 0.5, static, dynamic, 20.0)
+        assert math.isinf(metrics.energy_delay_product)
+
+    def test_normalize(self):
+        values = {"fbf3": 2.0, "sn": 1.0, "cm3": 1.5}
+        normed = normalize(values, "fbf3")
+        assert normed["fbf3"] == 1.0
+        assert normed["sn"] == 0.5
+        with pytest.raises(KeyError):
+            normalize(values, "t2d")
+
+
+class TestPaperHeadlines:
+    """Figure 1b/1c: SN has the best throughput/power at both nodes."""
+
+    @pytest.mark.parametrize("nm", [45, 22])
+    def test_sn_best_throughput_per_power(self, nm):
+        """Evaluated at a common offered load: saturated networks burn
+        injection-side energy on traffic they cannot deliver."""
+        tech = technology(nm)
+        offered = 0.40
+        results = {}
+        for sym, sat in (("sn200", 0.42), ("fbf4", 0.45), ("t2d4", 0.10), ("cm4", 0.08)):
+            topo = make_network(sym)
+            ct = cycle_time_ns(sym)
+            stats = average_route_stats(topo)
+            delivered = min(offered, sat)
+            metrics = make_metrics(
+                throughput_flits_per_cycle=delivered * topo.num_nodes,
+                cycle_time_ns=ct,
+                static=static_power(topo, tech),
+                dynamic=dynamic_power(topo, tech, offered, ct, stats),
+                avg_latency_cycles=25.0,
+            )
+            results[sym] = metrics.throughput_per_power
+        assert results["sn200"] == max(results.values())

@@ -1,0 +1,104 @@
+"""Cross-module property-based tests (hypothesis) on system invariants."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import SlimNoC, layout_coordinates, mms_graph
+from repro.core.costmodel import round_trip_cycles
+from repro.core.placement import wire_path
+from repro.routing import MinimalPaths, StaticMinimalRouting
+from repro.sim import NoCSimulator, SimConfig, link_latency
+from repro.topos import make_network
+from repro.traffic import SyntheticSource
+
+
+@given(st.sampled_from([3, 4, 5, 8, 9]), st.sampled_from(["sn_basic", "sn_subgr", "sn_gr"]))
+@settings(max_examples=30, deadline=None)
+def test_layout_wire_paths_cover_manhattan(q, layout):
+    """Every placed wire's slot count equals its Manhattan length + 1."""
+    graph = mms_graph(q)
+    coords = layout_coordinates(graph, layout)
+    rng = random.Random(q)
+    edges = graph.edges()
+    for i, j in rng.sample(edges, min(20, len(edges))):
+        ci, cj = coords[i], coords[j]
+        manhattan = abs(ci[0] - cj[0]) + abs(ci[1] - cj[1])
+        assert len(wire_path(ci, cj)) == manhattan + 1
+
+
+@given(st.integers(0, 40), st.integers(1, 12))
+@settings(max_examples=80, deadline=None)
+def test_rtt_and_link_latency_consistent(distance, h):
+    """RTT = 2 x link cycles + 3 for any distance and SMART reach."""
+    rtt = round_trip_cycles(distance, h)
+    cycles = link_latency(distance, h)
+    if distance == 0:
+        assert rtt == 3
+    else:
+        assert rtt == 2 * cycles + 3 or cycles == 1
+
+
+@given(st.integers(0, 199), st.integers(0, 199))
+@settings(max_examples=50, deadline=None)
+def test_minimal_paths_symmetric_length(src, dst):
+    """Undirected graph: |path(a,b)| == |path(b,a)|."""
+    paths = MinimalPaths(make_network("sn200"))
+    assert paths.hop_count(src // 4, dst // 4) == paths.hop_count(dst // 4, src // 4)
+
+
+@given(st.integers(1, 10_000))
+@settings(max_examples=40, deadline=None)
+def test_sim_single_packet_always_delivered(seed):
+    """Any single random packet is delivered, flits in order."""
+    topo = make_network("sn54")
+    rng = random.Random(seed)
+    src = rng.randrange(topo.num_nodes)
+    dst = rng.randrange(topo.num_nodes)
+    if src == dst:
+        dst = (dst + 1) % topo.num_nodes
+    sim = NoCSimulator(topo, SimConfig(), seed=seed)
+    packet = sim.inject_packet(src, dst, size=rng.randint(1, 8))
+    for _ in range(500):
+        sim.step()
+        if packet.ejected >= 0:
+            break
+    assert packet.ejected > packet.created
+    routing = StaticMinimalRouting(topo, num_vcs=2)
+    expected = routing.route(topo.node_router(src), topo.node_router(dst))
+    assert packet.route.path == expected.path
+
+
+@given(st.sampled_from(["RND", "SHF", "REV", "ADV1", "ADV2", "ASYM"]))
+@settings(max_examples=12, deadline=None)
+def test_every_pattern_simulates_clean(pattern):
+    """Low-load run: all created packets delivered for every pattern."""
+    topo = make_network("sn54")
+    sim = NoCSimulator(topo, seed=9)
+    res = sim.run(
+        SyntheticSource(topo, pattern, 0.05), warmup=100, measure=200, drain=600
+    )
+    assert res.delivered_packets == res.created_packets
+    assert not res.saturated
+
+
+@given(st.integers(2, 6), st.integers(2, 9))
+@settings(max_examples=20, deadline=None)
+def test_slimnoc_scales(q_index, p):
+    """Any (q, p) pair builds a consistent network."""
+    q = [2, 3, 4, 5, 7, 8, 9][q_index]
+    sn = SlimNoC(q, p)
+    assert sn.num_nodes == 2 * q * q * p
+    assert sn.diameter == 2
+    assert sn.router_radix == sn.network_radix + p
+
+
+@pytest.mark.parametrize("symbol", ["sn200", "fbf3", "pfbf4", "t2d4"])
+def test_throughput_never_exceeds_offered(symbol):
+    """Conservation: accepted throughput <= offered load."""
+    topo = make_network(symbol)
+    sim = NoCSimulator(topo, seed=3)
+    res = sim.run(SyntheticSource(topo, "RND", 0.1), warmup=150, measure=400, drain=900)
+    assert res.throughput <= 0.1 * 1.25  # Bernoulli noise margin
