@@ -1,10 +1,17 @@
-"""Common utilities for the figure/table benchmarks."""
+"""Common utilities for the figure/table benchmarks.
+
+Latency curves are submitted through the shared experiment engine
+(:mod:`repro.engine`): re-running a figure serves every point from the
+content-addressed cache, and ``REPRO_WORKERS=N`` fans fresh points
+across N worker processes (``REPRO_NO_CACHE=1`` forces re-simulation).
+"""
 
 from __future__ import annotations
 
 from functools import lru_cache
 
 from repro.analysis import format_table, sweep_loads
+from repro.engine import default_engine
 from repro.power import average_route_stats
 from repro.sim import SimConfig
 from repro.topos import make_network
@@ -31,9 +38,10 @@ def smart_config(**kw) -> SimConfig:
 
 
 def latency_curve(symbol, pattern, loads=None, config=None, layout=None, **kw):
-    """Sweep one catalog network; returns a SweepResult."""
+    """Sweep one catalog network through the engine; returns a SweepResult."""
     params = dict(SIM_KW)
     params.update(kw)
+    params.setdefault("engine", default_engine())
     return sweep_loads(
         network(symbol, layout),
         pattern,

@@ -36,6 +36,12 @@ from .core import (
     sn_power_of_two,
     sn_small,
 )
+from .engine import (
+    ExperimentEngine,
+    ExperimentSpec,
+    ResultCache,
+    default_engine,
+)
 from .fields import FiniteField, finite_field
 from .power import (
     TECH_22NM,
@@ -110,6 +116,10 @@ __all__ = [
     "compare_networks",
     "SweepResult",
     "LargeScaleModel",
+    "ExperimentSpec",
+    "ExperimentEngine",
+    "ResultCache",
+    "default_engine",
     "geometric_mean",
     "relative_improvement",
     "format_table",

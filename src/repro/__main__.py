@@ -1,37 +1,159 @@
-"""Command-line summary: ``python -m repro [symbol|N]``.
+"""Command-line interface to the Slim NoC reproduction.
 
-Prints the configuration, cost profile, and a quick latency probe for a
-catalog network (``python -m repro sn1296``) or the best Slim NoC design
-for a node count (``python -m repro 800``).
+Subcommands (all sharing the experiment engine — parallel workers and a
+content-addressed on-disk result cache):
+
+* ``info``    — configuration, cost profile, and a quick latency probe
+  for a catalog symbol or node count (``python -m repro info sn1296``;
+  the bare legacy form ``python -m repro sn1296`` still works).
+* ``sweep``   — latency-load curves for one network under one or more
+  patterns: ``python -m repro sweep sn200 --patterns RND,ADV2
+  --loads 0.02:0.5:0.04 --workers 8``.
+* ``compare`` — several networks under one pattern (the Figure 12-14
+  layout): ``python -m repro compare sn200 fbf4 t2d4 --pattern RND``.
+* ``cache``   — result-store maintenance: ``cache stats`` / ``cache
+  clear``.
+
+Repeating a ``sweep``/``compare`` with identical parameters performs
+zero new simulations — every point is served from the cache.
 """
 
 from __future__ import annotations
 
+import argparse
 import sys
 
 from .analysis import format_table
-from .core import SlimNoC
-from .core.slimnoc import design_for_nodes
+from .engine import ExperimentEngine, ResultCache, run_compare, run_sweep
 from .power import TECH_45NM, network_area, static_power
-from .sim import NoCSimulator, SimConfig
-from .topos import catalog_symbols, make_network
+from .sim import BUFFERING_STRATEGIES, NoCSimulator, SimConfig
+from .topos import catalog_symbols
 from .traffic import SyntheticSource
 
-
-def _resolve(argument: str):
-    if argument.isdigit():
-        config = design_for_nodes(int(argument))
-        layout = "sn_gr" if config.square_group_grid else "sn_subgr"
-        return SlimNoC(config.q, config.concentration, layout=layout)
-    return make_network(argument)
+COMMANDS = ("info", "sweep", "compare", "cache")
 
 
-def main(argv: list[str]) -> int:
-    if not argv or argv[0] in ("-h", "--help"):
-        print(__doc__)
-        print("catalog symbols:", " ".join(catalog_symbols()))
-        return 0
-    topology = _resolve(argv[0])
+def parse_loads(text: str) -> list[float]:
+    """``"0.02:0.5:0.04"`` (start:stop:step, stop-inclusive) or a comma list."""
+    if ":" in text:
+        parts = [float(x) for x in text.split(":")]
+        if len(parts) != 3:
+            raise argparse.ArgumentTypeError("range loads must be start:stop:step")
+        start, stop, step = parts
+        if step <= 0 or stop < start:
+            raise argparse.ArgumentTypeError("need step > 0 and stop >= start")
+        loads, value = [], start
+        while value <= stop + 1e-9:
+            loads.append(round(value, 10))
+            value += step
+        return loads
+    loads = [float(x) for x in text.split(",") if x]
+    if not loads:
+        raise argparse.ArgumentTypeError("need at least one load")
+    return loads
+
+
+def _build_config(args: argparse.Namespace) -> SimConfig:
+    if args.preset is not None:
+        config = BUFFERING_STRATEGIES[args.preset]()
+    else:
+        config = SimConfig()
+    return config.with_smart() if args.smart else config
+
+
+def _build_engine(args: argparse.Namespace) -> ExperimentEngine:
+    cache = None if args.no_cache else ResultCache(args.cache_dir)
+    return ExperimentEngine(cache=cache, max_workers=args.workers)
+
+
+def _progress(done: int, total: int, spec, cached: bool) -> None:
+    tag = "cache" if cached else "sim"
+    print(
+        f"  [{done}/{total}] {spec.topology} {spec.pattern} "
+        f"load={spec.load:g} ({tag})",
+        file=sys.stderr,
+    )
+
+
+def _curve_rows(curve) -> list[list]:
+    return [
+        [
+            f"{p.load:g}",
+            "saturated" if p.saturated else round(p.latency, 2),
+            round(p.throughput, 4),
+        ]
+        for p in curve.points
+    ]
+
+
+def _add_engine_options(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--workers", type=int, default=1,
+                        help="simulation worker processes (default 1)")
+    parser.add_argument("--no-cache", action="store_true",
+                        help="disable the on-disk result cache")
+    parser.add_argument("--cache-dir", default=None,
+                        help="result cache directory (default .repro_cache)")
+    parser.add_argument("--quiet", action="store_true",
+                        help="suppress per-point progress on stderr")
+
+
+def _add_sim_options(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--loads", type=parse_loads,
+                        default=[0.008, 0.06, 0.16, 0.30],
+                        help="comma list or start:stop:step range "
+                             "(flits/node/cycle)")
+    parser.add_argument("--preset", choices=sorted(BUFFERING_STRATEGIES),
+                        default=None, help="buffering strategy preset")
+    parser.add_argument("--smart", action="store_true",
+                        help="enable SMART links (H=9)")
+    parser.add_argument("--packet-flits", type=int, default=6)
+    parser.add_argument("--seed", type=int, default=1)
+    parser.add_argument("--warmup", type=int, default=300)
+    parser.add_argument("--measure", type=int, default=800)
+    parser.add_argument("--drain", type=int, default=1500)
+    parser.add_argument("--no-stop", action="store_true",
+                        help="simulate every load, even past saturation")
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro",
+        description=__doc__,
+        formatter_class=argparse.RawDescriptionHelpFormatter,
+        epilog="catalog symbols: " + " ".join(catalog_symbols()),
+    )
+    sub = parser.add_subparsers(dest="command")
+
+    info = sub.add_parser("info", help="summarize one network")
+    info.add_argument("network", help="catalog symbol or node count")
+
+    sweep = sub.add_parser("sweep", help="latency-load curves for one network")
+    sweep.add_argument("network", help="catalog symbol or node count")
+    sweep.add_argument("--patterns", default="RND",
+                       help="comma list of pattern acronyms (default RND)")
+    _add_sim_options(sweep)
+    _add_engine_options(sweep)
+
+    compare = sub.add_parser("compare", help="several networks, one pattern")
+    compare.add_argument("networks", nargs="+",
+                         help="catalog symbols or node counts")
+    compare.add_argument("--pattern", default="RND")
+    compare.add_argument("--model", action="store_true",
+                         help="use the analytical large-scale model instead "
+                              "of cycle-accurate simulation (for N=1296)")
+    _add_sim_options(compare)
+    _add_engine_options(compare)
+
+    cache = sub.add_parser("cache", help="result-store maintenance")
+    cache.add_argument("action", choices=("stats", "clear"))
+    cache.add_argument("--cache-dir", default=None)
+    return parser
+
+
+def cmd_info(args: argparse.Namespace) -> int:
+    from .engine import resolve_topology
+
+    topology = resolve_topology(args.network)
     area = network_area(topology, TECH_45NM, edge_buffer_flits=None)
     power = static_power(topology, TECH_45NM, edge_buffer_flits=None)
     sim = NoCSimulator(topology, SimConfig().with_smart(), seed=1)
@@ -56,6 +178,121 @@ def main(argv: list[str]) -> int:
         title="Network summary (45nm, SMART, RTT buffers)",
     ))
     return 0
+
+
+def cmd_sweep(args: argparse.Namespace) -> int:
+    config = _build_config(args)
+    progress = None if args.quiet else _progress
+    with _build_engine(args) as engine:
+        for pattern in [p for p in args.patterns.split(",") if p]:
+            before = engine.total_stats.snapshot()
+            curve = run_sweep(
+                engine, args.network, pattern, args.loads,
+                config=config, packet_flits=args.packet_flits, seed=args.seed,
+                warmup=args.warmup, measure=args.measure, drain=args.drain,
+                stop_after_saturation=not args.no_stop, progress=progress,
+            )
+            stats = engine.total_stats.since(before)
+            print(format_table(
+                ["load", "latency [cyc]", "throughput"],
+                _curve_rows(curve),
+                title=f"{args.network} / {pattern} "
+                      f"(sat throughput {curve.saturation_throughput():.4f})",
+            ))
+            print(f"  engine: {stats.cache_hits} cached, "
+                  f"{stats.executed} simulated, {stats.workers} workers\n")
+    return 0
+
+
+def cmd_compare(args: argparse.Namespace) -> int:
+    config = _build_config(args)
+    progress = None if args.quiet else _progress
+    with _build_engine(args) as engine:
+        if args.model:
+            from dataclasses import replace
+
+            from .analysis import model_curves
+            from .engine import resolve_topology
+
+            curves = model_curves(
+                {symbol: resolve_topology(symbol) for symbol in args.networks},
+                args.pattern, args.loads,
+                config=replace(config, packet_flits=args.packet_flits),
+                cache=engine.cache if engine.cache is not None else False,
+                seed=args.seed,
+            )
+        else:
+            curves = run_compare(
+                engine, {symbol: symbol for symbol in args.networks},
+                args.pattern, args.loads,
+                config=config, packet_flits=args.packet_flits, seed=args.seed,
+                warmup=args.warmup, measure=args.measure, drain=args.drain,
+                stop_after_saturation=not args.no_stop, progress=progress,
+            )
+        stats = engine.total_stats
+    rows = []
+    for label in args.networks:
+        curve = curves[label]
+        rows.append([
+            label,
+            round(curve.zero_load_latency(), 2),
+            f"{curve.saturation_throughput():.4f}",
+            len(curve.points),
+        ])
+    print(format_table(
+        ["network", "zero-load latency", "sat throughput", "points"],
+        rows,
+        title=f"Pattern {args.pattern} over "
+              f"{min(args.loads):g}..{max(args.loads):g}",
+    ))
+    print(f"  engine: {stats.cache_hits} cached, {stats.executed} simulated, "
+          f"{stats.workers} workers\n")
+    for label in args.networks:
+        print(format_table(
+            ["load", "latency [cyc]", "throughput"],
+            _curve_rows(curves[label]),
+            title=f"{label} / {args.pattern}",
+        ))
+    return 0
+
+
+def cmd_cache(args: argparse.Namespace) -> int:
+    cache = ResultCache(args.cache_dir)
+    if args.action == "clear":
+        removed = cache.clear()
+        print(f"removed {removed} cached results from {cache.root}")
+        return 0
+    stats = cache.stats()
+    print(format_table(
+        ["property", "value"],
+        [
+            ["directory", str(cache.root)],
+            ["entries", stats.entries],
+            ["size [MB]", round(stats.size_mb, 2)],
+        ],
+        title="Result cache",
+    ))
+    return 0
+
+
+def main(argv: list[str]) -> int:
+    if not argv or argv[0] in ("-h", "--help"):
+        build_parser().print_help()
+        return 0
+    if argv[0] not in COMMANDS:
+        argv = ["info", *argv]  # legacy: ``python -m repro sn1296``
+    args = build_parser().parse_args(argv)
+    handler = {
+        "info": cmd_info,
+        "sweep": cmd_sweep,
+        "compare": cmd_compare,
+        "cache": cmd_cache,
+    }[args.command]
+    try:
+        return handler(args)
+    except (ValueError, LookupError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
 
 
 if __name__ == "__main__":

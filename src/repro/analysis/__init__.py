@@ -1,6 +1,6 @@
 """Analysis harness: sweeps, saturation, large-N models, metric helpers."""
 
-from .largescale import LargeScaleModel
+from .largescale import LargeScaleModel, model_curves
 from .metrics import format_table, geometric_mean, relative_improvement
 from .resilience import ResilienceReport, degrade, resilience_curve
 from .sweep import SweepPoint, SweepResult, compare_networks, sweep_loads
@@ -11,6 +11,7 @@ __all__ = [
     "sweep_loads",
     "compare_networks",
     "LargeScaleModel",
+    "model_curves",
     "geometric_mean",
     "relative_improvement",
     "format_table",

@@ -16,10 +16,19 @@ lengths and hop counts."  We do the same:
 
 The model is also useful as an independent cross-check of the
 cycle-accurate simulator at small N (tested in tests/test_analysis.py).
+
+Building the model at N = 1296 routes the full flow matrix over the
+minimal-path tables — seconds of work that every figure repeats — so
+:meth:`LargeScaleModel.build` memoizes its derived scalars in the
+experiment engine's content-addressed cache (:mod:`repro.engine.cache`),
+keyed by the topology fingerprint, pattern, packet size, sample budget,
+and seed.
 """
 
 from __future__ import annotations
 
+import hashlib
+import json
 import math
 from dataclasses import dataclass
 
@@ -48,21 +57,38 @@ class LargeScaleModel:
         topology: Topology,
         pattern: str,
         config: SimConfig | None = None,
+        cache=None,
+        samples: int | None = None,
+        seed: int = 0,
     ) -> "LargeScaleModel":
+        """Derive the model's scalars (hop/wire averages, worst-channel
+        load), memoized in the content-addressed result store.
+
+        ``cache`` is a :class:`repro.engine.ResultCache`, ``None`` for
+        the environment-configured default (same knobs as the engine:
+        ``REPRO_CACHE_DIR`` / ``REPRO_NO_CACHE``), or ``False`` to
+        always recompute; ``samples``/``seed`` control the randomized
+        flow estimate (see :meth:`SyntheticSource.flows`).
+        """
+        if cache is None:
+            from ..engine import default_engine
+
+            cache = default_engine().cache  # None when REPRO_NO_CACHE is set
+        elif cache is False:
+            cache = None
         config = config if config is not None else SimConfig()
-        hops, wire_hops = average_route_stats(topology)
-        probe = SyntheticSource(topology, pattern, rate=1.0, packet_flits=config.packet_flits)
-        paths = MinimalPaths(topology)
-        # flows are per-router flit rates at offered load 1.0 flit/node/cycle;
-        # the busiest channel's load scales linearly with the rate.
-        channel_load = paths.max_channel_load(probe.flows())
+        probe = SyntheticSource(
+            topology, pattern, rate=1.0, packet_flits=config.packet_flits,
+            seed=seed,
+        )
+        scalars = _model_scalars(topology, probe, cache, samples)
         return cls(
             topology=topology,
             pattern=pattern,
             config=config,
-            avg_hops=hops,
-            avg_wire_hops=wire_hops,
-            max_channel_load_per_rate=channel_load,
+            avg_hops=scalars["avg_hops"],
+            avg_wire_hops=scalars["avg_wire_hops"],
+            max_channel_load_per_rate=scalars["max_channel_load_per_rate"],
         )
 
     @property
@@ -112,3 +138,67 @@ class LargeScaleModel:
             if saturated:
                 break
         return result
+
+
+def _model_scalars(
+    topology: Topology,
+    probe: SyntheticSource,
+    cache,
+    samples: int | None,
+) -> dict:
+    """Hop/wire averages and worst-channel load, memoized per topology
+    structure + pattern + sampling parameters."""
+    key = None
+    if cache is not None:
+        from ..engine import topology_fingerprint
+
+        effective_samples = (
+            samples if samples is not None else probe.default_flow_samples()
+        )
+        ident = json.dumps(
+            [
+                "largescale-model",
+                topology_fingerprint(topology),
+                probe.pattern_name,
+                probe.packet_flits,
+                effective_samples,
+                probe.seed,
+            ],
+            separators=(",", ":"),
+        )
+        key = hashlib.sha256(ident.encode("utf-8")).hexdigest()
+        cached = cache.get_payload(key, kind="largescale-model")
+        if cached is not None:
+            return cached
+    hops, wire_hops = average_route_stats(topology)
+    paths = MinimalPaths(topology)
+    # flows are per-router flit rates at offered load 1.0 flit/node/cycle;
+    # the busiest channel's load scales linearly with the rate.
+    scalars = {
+        "avg_hops": hops,
+        "avg_wire_hops": wire_hops,
+        "max_channel_load_per_rate": paths.max_channel_load(
+            probe.flows(samples=samples)
+        ),
+    }
+    if cache is not None and key is not None:
+        cache.put_payload(key, kind="largescale-model", result=scalars)
+    return scalars
+
+
+def model_curves(
+    topologies: dict[str, Topology],
+    pattern: str,
+    loads: list[float],
+    config: SimConfig | None = None,
+    cache=None,
+    seed: int = 0,
+) -> dict[str, SweepResult]:
+    """Analytical counterpart of :func:`repro.analysis.compare_networks`
+    for the N = 1296 class, sharing the engine's result cache."""
+    return {
+        label: LargeScaleModel.build(
+            topo, pattern, config, cache=cache, seed=seed
+        ).sweep(loads, name=label)
+        for label, topo in topologies.items()
+    }

@@ -6,6 +6,15 @@ performance data for points after network saturation").  This module
 reproduces that methodology: simulate a list of loads, stop at the first
 saturated point, and report the curve plus derived metrics (zero-load
 latency, saturation throughput).
+
+Sweeps are submitted through the experiment engine
+(:mod:`repro.engine`): every (topology, pattern, load, config, seed)
+point is content-addressed, so repeated figure reproduction is served
+from the on-disk cache, and setting ``REPRO_WORKERS`` (or passing an
+``engine`` with ``max_workers > 1``) fans the points across worker
+processes.  Passing an explicit :class:`RoutingAlgorithm` *object*
+bypasses the engine (live adaptive state is neither serializable nor
+cacheable) and runs the legacy serial loop.
 """
 
 from __future__ import annotations
@@ -24,6 +33,23 @@ class SweepPoint:
     latency: float
     throughput: float
     saturated: bool
+
+    def to_dict(self) -> dict:
+        return {
+            "load": self.load,
+            "latency": self.latency,
+            "throughput": self.throughput,
+            "saturated": self.saturated,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "SweepPoint":
+        return cls(
+            load=payload["load"],
+            latency=payload["latency"],
+            throughput=payload["throughput"],
+            saturated=payload["saturated"],
+        )
 
 
 @dataclass
@@ -59,9 +85,24 @@ class SweepResult:
             raise ValueError("empty sweep")
         return min(self.points, key=lambda p: abs(p.load - load)).latency
 
+    def to_dict(self) -> dict:
+        return {
+            "network": self.network,
+            "pattern": self.pattern,
+            "points": [p.to_dict() for p in self.points],
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "SweepResult":
+        return cls(
+            network=payload["network"],
+            pattern=payload["pattern"],
+            points=[SweepPoint.from_dict(p) for p in payload["points"]],
+        )
+
 
 def sweep_loads(
-    topology: Topology,
+    topology: Topology | str,
     pattern: str,
     loads: list[float],
     config: SimConfig | None = None,
@@ -73,8 +114,58 @@ def sweep_loads(
     seed: int = 1,
     stop_after_saturation: bool = True,
     name: str | None = None,
+    engine=None,
 ) -> SweepResult:
-    """Run the simulator across ``loads`` (flits/node/cycle), low to high."""
+    """Run the simulator across ``loads`` (flits/node/cycle), low to high.
+
+    ``topology`` may be a live :class:`Topology` or a catalog symbol;
+    ``engine`` overrides the default (env-configured) experiment engine.
+    """
+    if routing is not None:
+        return _sweep_serial(
+            topology, pattern, loads, config=config, routing=routing,
+            packet_flits=packet_flits, warmup=warmup, measure=measure,
+            drain=drain, seed=seed, stop_after_saturation=stop_after_saturation,
+            name=name,
+        )
+    from ..engine import default_engine, run_sweep
+
+    return run_sweep(
+        engine if engine is not None else default_engine(),
+        topology,
+        pattern,
+        loads,
+        config=config,
+        packet_flits=packet_flits,
+        seed=seed,
+        warmup=warmup,
+        measure=measure,
+        drain=drain,
+        stop_after_saturation=stop_after_saturation,
+        name=name,
+    )
+
+
+def _sweep_serial(
+    topology: Topology | str,
+    pattern: str,
+    loads: list[float],
+    *,
+    config: SimConfig | None,
+    routing: RoutingAlgorithm | None,
+    packet_flits: int,
+    warmup: int,
+    measure: int,
+    drain: int,
+    seed: int,
+    stop_after_saturation: bool,
+    name: str | None,
+) -> SweepResult:
+    """Legacy in-process loop for live routing objects (UGAL et al.)."""
+    if isinstance(topology, str):
+        from ..engine import resolve_topology
+
+        topology = resolve_topology(topology)
     result = SweepResult(network=name or topology.name, pattern=pattern)
     for load in sorted(loads):
         sim = NoCSimulator(topology, config, routing=routing, seed=seed)
@@ -93,17 +184,34 @@ def sweep_loads(
 
 
 def compare_networks(
-    topologies: dict[str, Topology],
+    topologies: dict[str, Topology | str],
     pattern: str,
     loads: list[float],
     configs: dict[str, SimConfig] | None = None,
+    engine=None,
     **kwargs,
 ) -> dict[str, SweepResult]:
-    """Sweep several networks under one pattern (Figures 12-14 layout)."""
-    results = {}
-    for label, topology in topologies.items():
-        config = (configs or {}).get(label)
-        results[label] = sweep_loads(
-            topology, pattern, loads, config=config, name=label, **kwargs
-        )
-    return results
+    """Sweep several networks under one pattern (Figures 12-14 layout).
+
+    Submitted as one engine campaign: with a multi-worker engine the
+    (network × load) grid runs in parallel, with per-network early stop.
+    """
+    if "routing" in kwargs:
+        routing = kwargs.pop("routing")
+        return {
+            label: sweep_loads(
+                topology, pattern, loads, config=(configs or {}).get(label),
+                routing=routing, name=label, **kwargs,
+            )
+            for label, topology in topologies.items()
+        }
+    from ..engine import default_engine, run_compare
+
+    return run_compare(
+        engine if engine is not None else default_engine(),
+        topologies,
+        pattern,
+        loads,
+        configs=configs,
+        **kwargs,
+    )

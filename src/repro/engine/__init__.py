@@ -1,0 +1,62 @@
+"""Parallel experiment engine with content-addressed result caching.
+
+The engine turns figure reproduction from serial, in-process re-simulation
+into an incremental, parallel pipeline:
+
+* :mod:`~repro.engine.spec` — :class:`ExperimentSpec`, a frozen, hashable
+  description of one simulation point with a stable content hash;
+* :mod:`~repro.engine.cache` — :class:`ResultCache`, an on-disk JSON
+  store keyed by spec hash (schema-versioned, byte-deterministic);
+* :mod:`~repro.engine.runner` — :class:`ExperimentEngine`, a batch
+  executor fanning cache misses across a process pool;
+* :mod:`~repro.engine.campaign` — sweep/compare grid builders with
+  staged early stop on saturation.
+
+End to end::
+
+    python -m repro sweep sn200 --patterns RND,ADV2 \\
+        --loads 0.02:0.5:0.04 --workers 8
+
+or programmatically::
+
+    from repro.engine import ExperimentEngine, ResultCache, run_compare
+
+    engine = ExperimentEngine(cache=ResultCache("results/"), max_workers=8)
+    curves = run_compare(engine, {"sn200": "sn200", "fbf4": "fbf4"},
+                         "RND", [0.02, 0.1, 0.2, 0.3])
+
+Re-running either form performs zero new simulations: every point is
+served from the cache.
+"""
+
+from .cache import SCHEMA_VERSION, CacheStats, ResultCache, default_cache_dir
+from .campaign import assemble_curve, build_sweep_specs, run_compare, run_sweep
+from .runner import ExperimentEngine, RunStats, default_engine
+from .spec import (
+    SPEC_VERSION,
+    ExperimentSpec,
+    build_routing,
+    resolve_topology,
+    topology_fingerprint,
+    topology_token,
+)
+
+__all__ = [
+    "ExperimentSpec",
+    "ExperimentEngine",
+    "ResultCache",
+    "CacheStats",
+    "RunStats",
+    "SCHEMA_VERSION",
+    "SPEC_VERSION",
+    "default_engine",
+    "default_cache_dir",
+    "build_routing",
+    "resolve_topology",
+    "topology_fingerprint",
+    "topology_token",
+    "build_sweep_specs",
+    "assemble_curve",
+    "run_sweep",
+    "run_compare",
+]

@@ -1,0 +1,163 @@
+"""On-disk content-addressed result store.
+
+Each entry is one JSON file named by the spec's content hash (sharded by
+the first two hex digits), containing a schema tag, the spec that
+produced it, and the serialized result::
+
+    <root>/ab/abcdef….json
+    {"schema": 1, "kind": "sim", "spec": {...}, "result": {...}}
+
+Entries are written atomically (temp file + rename) with a canonical,
+deterministic JSON encoding, so the same spec always produces
+byte-identical files — re-running a figure is a pure cache read.  A
+schema-tag mismatch (older/newer writer) is treated as a miss and the
+entry is recomputed and overwritten.
+
+Besides full simulation results the store also holds arbitrary keyed
+JSON payloads (:meth:`ResultCache.get_payload`), used by the large-scale
+analytical model to memoize its expensive channel-load computation.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+from dataclasses import dataclass
+from pathlib import Path
+
+from ..sim import SimResult
+from .spec import ExperimentSpec
+
+#: Bump when the on-disk layout of cache entries changes; mismatched
+#: entries are ignored (recomputed and overwritten), never misread.
+SCHEMA_VERSION = 1
+
+#: Default cache location, overridable via the environment.
+CACHE_DIR_ENV = "REPRO_CACHE_DIR"
+DEFAULT_CACHE_DIR = ".repro_cache"
+
+
+def default_cache_dir() -> Path:
+    return Path(os.environ.get(CACHE_DIR_ENV) or DEFAULT_CACHE_DIR)
+
+
+@dataclass(frozen=True)
+class CacheStats:
+    """Snapshot of a cache directory plus this process's hit counters."""
+
+    entries: int
+    size_bytes: int
+    hits: int
+    misses: int
+
+    @property
+    def size_mb(self) -> float:
+        return self.size_bytes / 1e6
+
+
+class ResultCache:
+    """Content-addressed JSON store for simulation results.
+
+    Thread/process safe for readers; writes are atomic renames, so
+    concurrent writers of the *same* key simply race to produce identical
+    bytes.
+    """
+
+    def __init__(self, root: Path | str | None = None):
+        self.root = Path(root) if root is not None else default_cache_dir()
+        self.hits = 0
+        self.misses = 0
+
+    # -- raw keyed payloads -------------------------------------------------
+
+    def _path(self, key: str) -> Path:
+        return self.root / key[:2] / f"{key}.json"
+
+    def get_payload(self, key: str, kind: str) -> dict | None:
+        """Payload stored under ``key`` if present, readable, and current."""
+        try:
+            text = self._path(key).read_text(encoding="utf-8")
+            entry = json.loads(text)
+        except (OSError, ValueError):
+            self.misses += 1
+            return None
+        result = entry.get("result")
+        if (
+            entry.get("schema") != SCHEMA_VERSION
+            or entry.get("kind") != kind
+            or result is None
+        ):
+            self.misses += 1
+            return None
+        self.hits += 1
+        return result
+
+    def put_payload(
+        self, key: str, kind: str, result: dict, spec: dict | None = None
+    ) -> Path:
+        """Atomically write ``result`` under ``key``; returns the file path."""
+        entry = {"schema": SCHEMA_VERSION, "kind": kind, "result": result}
+        if spec is not None:
+            entry["spec"] = spec
+        path = self._path(key)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        blob = json.dumps(entry, sort_keys=True, separators=(",", ":"))
+        fd, tmp = tempfile.mkstemp(dir=path.parent, suffix=".tmp")
+        try:
+            with os.fdopen(fd, "w", encoding="utf-8") as handle:
+                handle.write(blob)
+            os.replace(tmp, path)
+        except BaseException:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise
+        return path
+
+    # -- simulation results -------------------------------------------------
+
+    def get(self, spec: ExperimentSpec) -> SimResult | None:
+        """Cached result for ``spec``, or ``None`` (miss / schema change)."""
+        payload = self.get_payload(spec.content_hash(), kind="sim")
+        if payload is None:
+            return None
+        return SimResult.from_dict(payload)
+
+    def put(self, spec: ExperimentSpec, result: SimResult) -> Path:
+        return self.put_payload(
+            spec.content_hash(), kind="sim", result=result.to_dict(),
+            spec=spec.to_dict(),
+        )
+
+    def path_for(self, spec: ExperimentSpec) -> Path:
+        """Where ``spec``'s result lives (whether or not it exists yet)."""
+        return self._path(spec.content_hash())
+
+    # -- maintenance ---------------------------------------------------------
+
+    def _entry_files(self) -> list[Path]:
+        if not self.root.is_dir():
+            return []
+        return sorted(self.root.glob("*/*.json"))
+
+    def stats(self) -> CacheStats:
+        files = self._entry_files()
+        size = sum(f.stat().st_size for f in files)
+        return CacheStats(
+            entries=len(files), size_bytes=size, hits=self.hits, misses=self.misses
+        )
+
+    def clear(self) -> int:
+        """Delete every entry; returns the number of files removed."""
+        files = self._entry_files()
+        for path in files:
+            path.unlink()
+        for shard in self.root.glob("*"):
+            if shard.is_dir():
+                try:
+                    shard.rmdir()
+                except OSError:
+                    pass
+        return len(files)

@@ -1,0 +1,259 @@
+"""Sweep/compare campaign builders on top of the experiment engine.
+
+A *campaign* expands a (network × pattern × load) grid into
+:class:`~repro.engine.spec.ExperimentSpec`\\ s, submits them through an
+:class:`~repro.engine.runner.ExperimentEngine`, and assembles the paper's
+latency-load curves (:class:`~repro.analysis.sweep.SweepResult`).
+
+Early stop on saturation ("we omit performance data for points after
+network saturation") is handled as *staged batches*: loads are submitted
+in chunks sized to the engine's worker count, each curve stops extending
+once a chunk contains a saturated point, and the assembled curve is
+truncated at the first saturated load.  Because every point is simulated
+deterministically from its spec, a staged parallel campaign is
+point-for-point identical to the serial sweep — parallelism can only
+compute (and cache) a few extra post-saturation points, never change the
+curve.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Mapping, Sequence
+
+from ..sim import SimConfig, SimResult
+from ..topos.base import Topology
+from .runner import ExperimentEngine
+from .spec import ExperimentSpec, resolve_topology, topology_token
+
+
+def _resolve_entry(
+    topology: Topology | str, layout: str | None
+) -> tuple[str, Topology]:
+    """Canonical (token, object) pair for a campaign network.
+
+    Catalog symbols are resolved to live objects here, in the parent,
+    and *every* campaign spec is keyed by the structural fingerprint —
+    so a sweep launched from the CLI (symbol) and one launched from the
+    harness (live object) share cache entries for the same network.
+    """
+    if isinstance(topology, str):
+        topology = resolve_topology(topology, layout)
+    return topology_token(topology), topology
+
+
+def _spec_for(
+    token: str,
+    pattern: str,
+    load: float,
+    *,
+    config: SimConfig | None,
+    packet_flits: int,
+    routing: str,
+    seed: int,
+    warmup: int,
+    measure: int,
+    drain: int,
+    layout: str | None,
+) -> ExperimentSpec:
+    return ExperimentSpec(
+        topology=token,
+        pattern=pattern,
+        load=load,
+        packet_flits=packet_flits,
+        config=config if config is not None else SimConfig(),
+        routing=routing,
+        seed=seed,
+        warmup=warmup,
+        measure=measure,
+        drain=drain,
+        layout=layout,
+    )
+
+
+def build_sweep_specs(
+    topology: Topology | str,
+    pattern: str,
+    loads: Sequence[float],
+    *,
+    config: SimConfig | None = None,
+    packet_flits: int = 6,
+    routing: str = "default",
+    seed: int = 1,
+    warmup: int = 300,
+    measure: int = 800,
+    drain: int = 1500,
+    layout: str | None = None,
+) -> tuple[list[ExperimentSpec], dict[str, Topology]]:
+    """Specs for one (network, pattern) sweep, plus the topology map the
+    engine needs to hand the fingerprinted networks to workers."""
+    token, topology = _resolve_entry(topology, layout)
+    topologies = {token: topology}
+    # The fingerprint token already encodes the layout's wire lengths, so
+    # the spec's layout field stays None — keeping cache keys identical no
+    # matter how the caller named the network.
+    specs = [
+        _spec_for(
+            token, pattern, load, config=config, packet_flits=packet_flits,
+            routing=routing, seed=seed, warmup=warmup, measure=measure,
+            drain=drain, layout=None,
+        )
+        for load in sorted(loads)
+    ]
+    return specs, topologies
+
+
+def assemble_curve(
+    name: str,
+    pattern: str,
+    loads: Sequence[float],
+    results: Sequence[SimResult],
+    stop_after_saturation: bool = True,
+):
+    """Fold per-load results into a :class:`SweepResult`, truncating after
+    the first saturated point when early stop is requested."""
+    from ..analysis.sweep import SweepPoint, SweepResult
+
+    curve = SweepResult(network=name, pattern=pattern)
+    for load, outcome in zip(loads, results):
+        point = SweepPoint(
+            load=load,
+            latency=outcome.avg_latency,
+            throughput=outcome.throughput,
+            saturated=outcome.saturated,
+        )
+        curve.points.append(point)
+        if point.saturated and stop_after_saturation:
+            break
+    return curve
+
+
+def run_sweep(
+    engine: ExperimentEngine,
+    topology: Topology | str,
+    pattern: str,
+    loads: Sequence[float],
+    *,
+    config: SimConfig | None = None,
+    packet_flits: int = 6,
+    routing: str = "default",
+    seed: int = 1,
+    warmup: int = 300,
+    measure: int = 800,
+    drain: int = 1500,
+    layout: str | None = None,
+    stop_after_saturation: bool = True,
+    name: str | None = None,
+    progress=None,
+):
+    """One latency-load curve through the engine (cached + parallel)."""
+    curves = run_compare(
+        engine,
+        {_label(name, topology): topology},
+        pattern,
+        loads,
+        config=config,
+        packet_flits=packet_flits,
+        routing=routing,
+        seed=seed,
+        warmup=warmup,
+        measure=measure,
+        drain=drain,
+        layout=layout,
+        stop_after_saturation=stop_after_saturation,
+        progress=progress,
+    )
+    return next(iter(curves.values()))
+
+
+def _label(name: str | None, topology: Topology | str) -> str:
+    if name is not None:
+        return name
+    return topology if isinstance(topology, str) else topology.name
+
+
+def run_compare(
+    engine: ExperimentEngine,
+    topologies: Mapping[str, Topology | str],
+    pattern: str,
+    loads: Sequence[float],
+    *,
+    configs: Mapping[str, SimConfig] | None = None,
+    config: SimConfig | None = None,
+    packet_flits: int = 6,
+    routing: str = "default",
+    seed: int = 1,
+    warmup: int = 300,
+    measure: int = 800,
+    drain: int = 1500,
+    layout: str | None = None,
+    stop_after_saturation: bool = True,
+    progress=None,
+):
+    """Sweep several labeled networks under one pattern (Figures 12-14).
+
+    All still-unsaturated networks contribute their next chunk of loads
+    to each engine batch, so a multi-worker engine parallelizes across
+    networks *and* loads while preserving per-network early stop.
+    """
+    loads = sorted(loads)
+    # layout is consumed by _resolve_entry; fingerprint-keyed specs carry
+    # layout=None so cache keys don't depend on how the network was named.
+    spec_kw = dict(
+        packet_flits=packet_flits, routing=routing, seed=seed,
+        warmup=warmup, measure=measure, drain=drain, layout=None,
+    )
+    per_label: dict[str, dict] = {}
+    topo_map: dict[str, Topology] = {}
+    for label, topology in topologies.items():
+        token, topology = _resolve_entry(topology, layout)
+        topo_map[token] = topology
+        per_label[label] = {
+            "token": token,
+            "config": (configs or {}).get(label, config),
+            "results": [],
+            "next": 0,
+            "done": not loads,
+        }
+
+    active = [label for label, info in per_label.items() if not info["done"]]
+    while active:
+        if stop_after_saturation:
+            chunk = max(1, math.ceil(engine.max_workers / len(active)))
+        else:
+            chunk = len(loads)
+        batch: list[tuple[str, float]] = []
+        specs: list[ExperimentSpec] = []
+        for label in active:
+            info = per_label[label]
+            for load in loads[info["next"]: info["next"] + chunk]:
+                batch.append((label, load))
+                specs.append(
+                    _spec_for(
+                        info["token"], pattern, load,
+                        config=info["config"], **spec_kw,
+                    )
+                )
+            info["next"] += chunk
+        results = engine.run(specs, topologies=topo_map, progress=progress)
+        for (label, _load), outcome in zip(batch, results):
+            per_label[label]["results"].append(outcome)
+        for label in active:
+            info = per_label[label]
+            saturated = stop_after_saturation and any(
+                r.saturated for r in info["results"]
+            )
+            if saturated or info["next"] >= len(loads):
+                info["done"] = True
+        active = [label for label, info in per_label.items() if not info["done"]]
+
+    return {
+        label: assemble_curve(
+            label,
+            pattern,
+            loads[: len(info["results"])],
+            info["results"],
+            stop_after_saturation,
+        )
+        for label, info in per_label.items()
+    }

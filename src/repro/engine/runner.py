@@ -1,0 +1,243 @@
+"""Batch executor: cache lookup, then fan-out across worker processes.
+
+:class:`ExperimentEngine` takes a list of :class:`ExperimentSpec`\\ s and
+returns one :class:`~repro.sim.SimResult` per spec, in order:
+
+1. duplicate specs are coalesced (one simulation serves all copies);
+2. the content-addressed cache is consulted for each unique spec;
+3. misses are executed — on a ``ProcessPoolExecutor`` when the batch is
+   big enough to amortize worker startup, serially in-process otherwise —
+   and written back to the cache.
+
+Results are *normalized* through the JSON codec in both paths, so a
+fresh simulation, a parallel run, and a cache hit are indistinguishable
+point-for-point (simulations are deterministic per spec; only the
+meaningless per-packet latency ordering is canonicalized).
+
+Catalog-symbol specs ship only their token to workers (the topology is
+rebuilt there); fingerprint specs pickle the live topology object.
+
+Environment knobs: ``REPRO_WORKERS`` sets the default worker count and
+``REPRO_NO_CACHE=1`` disables the default on-disk cache.
+"""
+
+from __future__ import annotations
+
+import os
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from dataclasses import dataclass
+from typing import Callable, Sequence
+
+from ..sim import SimResult
+from ..topos.base import Topology
+from .cache import ResultCache
+from .spec import FINGERPRINT_PREFIX, ExperimentSpec
+
+#: progress(done, total, spec, from_cache) — invoked once per unique spec.
+ProgressFn = Callable[[int, int, ExperimentSpec, bool], None]
+
+WORKERS_ENV = "REPRO_WORKERS"
+NO_CACHE_ENV = "REPRO_NO_CACHE"
+
+
+def _execute_remote(payload: tuple[dict, Topology | None]) -> dict:
+    """Worker entry point: rebuild the spec, simulate, return a JSON dict.
+
+    Returning the serialized form (not the ``SimResult``) keeps the
+    transfer compact for large runs and guarantees parallel results pass
+    through exactly the codec the cache uses.
+    """
+    spec_dict, topology = payload
+    spec = ExperimentSpec.from_dict(spec_dict)
+    return spec.execute(topology=topology).to_dict()
+
+
+@dataclass
+class RunStats:
+    """Accounting for one :meth:`ExperimentEngine.run` call (or, as
+    ``engine.total_stats``, everything the engine has done so far)."""
+
+    requested: int = 0
+    unique: int = 0
+    cache_hits: int = 0
+    executed: int = 0
+    workers: int = 1
+
+    def accumulate(self, other: "RunStats") -> None:
+        self.requested += other.requested
+        self.unique += other.unique
+        self.cache_hits += other.cache_hits
+        self.executed += other.executed
+
+    def since(self, earlier: "RunStats") -> "RunStats":
+        return RunStats(
+            requested=self.requested - earlier.requested,
+            unique=self.unique - earlier.unique,
+            cache_hits=self.cache_hits - earlier.cache_hits,
+            executed=self.executed - earlier.executed,
+            workers=self.workers,
+        )
+
+    def snapshot(self) -> "RunStats":
+        return RunStats(
+            requested=self.requested, unique=self.unique,
+            cache_hits=self.cache_hits, executed=self.executed,
+            workers=self.workers,
+        )
+
+
+class ExperimentEngine:
+    """Cache-aware, optionally parallel experiment executor.
+
+    Args:
+        cache: Result store; ``None`` disables caching entirely.
+        max_workers: Process count for simulation fan-out; ``1`` (the
+            default) runs everything serially in-process.
+        serial_threshold: Batches with fewer misses than this run
+            serially even when ``max_workers > 1`` (worker startup would
+            dominate).
+    """
+
+    def __init__(
+        self,
+        cache: ResultCache | None = None,
+        max_workers: int = 1,
+        serial_threshold: int = 2,
+    ):
+        if max_workers < 1:
+            raise ValueError("max_workers must be >= 1")
+        self.cache = cache
+        self.max_workers = max_workers
+        self.serial_threshold = serial_threshold
+        self.last_stats = RunStats()
+        self.total_stats = RunStats(workers=max_workers)
+        self._pool: ProcessPoolExecutor | None = None
+
+    # ------------------------------------------------------------------
+
+    def _ensure_pool(self) -> ProcessPoolExecutor:
+        """Lazily create (and then reuse) the worker pool, so staged
+        campaigns don't pay process startup once per batch."""
+        if self._pool is None:
+            self._pool = ProcessPoolExecutor(max_workers=self.max_workers)
+        return self._pool
+
+    def close(self) -> None:
+        """Shut down the worker pool (idempotent)."""
+        if self._pool is not None:
+            self._pool.shutdown()
+            self._pool = None
+
+    def __enter__(self) -> "ExperimentEngine":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def run(
+        self,
+        specs: Sequence[ExperimentSpec],
+        topologies: dict[str, Topology] | None = None,
+        progress: ProgressFn | None = None,
+    ) -> list[SimResult]:
+        """Execute ``specs``; returns results aligned with the input order.
+
+        ``topologies`` maps fingerprint tokens (``spec.topology``) to live
+        :class:`Topology` objects for specs built from ad-hoc networks.
+        """
+        topologies = topologies or {}
+        unique: dict[str, ExperimentSpec] = {}
+        for spec in specs:
+            unique.setdefault(spec.content_hash(), spec)
+        stats = RunStats(
+            requested=len(specs), unique=len(unique), workers=self.max_workers
+        )
+
+        results: dict[str, SimResult] = {}
+        misses: list[tuple[str, ExperimentSpec]] = []
+        done = 0
+        for key, spec in unique.items():
+            cached = self.cache.get(spec) if self.cache is not None else None
+            if cached is not None:
+                results[key] = cached
+                stats.cache_hits += 1
+                done += 1
+                if progress is not None:
+                    progress(done, len(unique), spec, True)
+            else:
+                misses.append((key, spec))
+
+        def topology_for(spec: ExperimentSpec) -> Topology | None:
+            if spec.topology.startswith(FINGERPRINT_PREFIX):
+                try:
+                    return topologies[spec.topology]
+                except KeyError:
+                    raise LookupError(
+                        f"spec references fingerprint topology {spec.topology!r} "
+                        "but no object was supplied via `topologies`"
+                    ) from None
+            return None
+
+        def record(key: str, spec: ExperimentSpec, result: SimResult) -> None:
+            nonlocal done
+            if self.cache is not None:
+                self.cache.put(spec, result)
+            results[key] = result
+            stats.executed += 1
+            done += 1
+            if progress is not None:
+                progress(done, len(unique), spec, False)
+
+        if misses:
+            parallel = self.max_workers > 1 and len(misses) >= self.serial_threshold
+            if parallel:
+                pool = self._ensure_pool()
+                pending = {
+                    pool.submit(
+                        _execute_remote, (spec.to_dict(), topology_for(spec))
+                    ): (key, spec)
+                    for key, spec in misses
+                }
+                while pending:
+                    finished, _ = wait(pending, return_when=FIRST_COMPLETED)
+                    for future in finished:
+                        key, spec = pending.pop(future)
+                        record(key, spec, SimResult.from_dict(future.result()))
+            else:
+                for key, spec in misses:
+                    raw = spec.execute(topology=topology_for(spec))
+                    # Normalize through the codec so serial results match
+                    # cached/parallel ones byte-for-byte.
+                    record(key, spec, SimResult.from_dict(raw.to_dict()))
+
+        self.last_stats = stats
+        self.total_stats.accumulate(stats)
+        return [results[spec.content_hash()] for spec in specs]
+
+
+_default_engines: dict[tuple, ExperimentEngine] = {}
+
+
+def default_engine() -> ExperimentEngine:
+    """Engine configured from the environment (used by the analysis layer).
+
+    ``REPRO_WORKERS=N`` enables N-process fan-out; ``REPRO_NO_CACHE=1``
+    turns off the on-disk cache (otherwise ``REPRO_CACHE_DIR`` or
+    ``.repro_cache/``).  One engine is shared per environment
+    configuration so its worker pool and hit counters persist across
+    sweeps.
+    """
+    from .cache import CACHE_DIR_ENV
+
+    no_cache = bool(os.environ.get(NO_CACHE_ENV))
+    try:
+        workers = max(1, int(os.environ.get(WORKERS_ENV, "") or 1))
+    except ValueError:
+        workers = 1
+    signature = (no_cache, os.environ.get(CACHE_DIR_ENV), workers)
+    engine = _default_engines.get(signature)
+    if engine is None:
+        cache = None if no_cache else ResultCache()
+        engine = ExperimentEngine(cache=cache, max_workers=workers)
+        _default_engines[signature] = engine
+    return engine

@@ -1,0 +1,193 @@
+"""Frozen, content-addressed experiment specifications.
+
+An :class:`ExperimentSpec` pins **every** input that determines a
+cycle-accurate simulation's outcome: the topology (a catalog symbol, a
+node-count request, or a structural fingerprint of an ad-hoc
+:class:`~repro.topos.base.Topology`), the traffic pattern and offered
+load, the packet size, the full :class:`~repro.sim.SimConfig`, the
+routing scheme, the RNG seed, and the warmup/measure/drain windows.
+
+Because the simulator is deterministic given these inputs, the spec's
+:meth:`~ExperimentSpec.content_hash` is a *content address* for its
+result: two specs with equal hashes produce byte-identical serialized
+results, which is what makes the on-disk cache
+(:mod:`repro.engine.cache`) and the process-pool runner
+(:mod:`repro.engine.runner`) safe.
+
+Specs round-trip through JSON (:meth:`~ExperimentSpec.to_dict` /
+:meth:`~ExperimentSpec.from_dict`) so they can cross process boundaries
+and be stored next to their results for auditability.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import asdict, dataclass, field
+
+from ..routing import (
+    DimensionOrderRouting,
+    RoutingAlgorithm,
+    StaticMinimalRouting,
+    UGALRouting,
+    ValiantRouting,
+    default_routing,
+)
+from ..sim import NoCSimulator, SimConfig, SimResult
+from ..topos.base import Topology
+from ..traffic import SyntheticSource
+
+#: Bump when the *meaning* of a spec changes (e.g. a simulator fix that
+#: alters results for identical inputs) so stale cache entries miss.
+SPEC_VERSION = 1
+
+#: Topology tokens carrying a structural fingerprint instead of a catalog
+#: symbol.  Fingerprinted topologies cannot be rebuilt from the token
+#: alone — the runner ships the live object to workers (see
+#: :func:`repro.engine.runner.ExperimentEngine.run`).
+FINGERPRINT_PREFIX = "fp:"
+
+#: Routing schemes a worker process can rebuild by name.
+ROUTING_BUILDERS = {
+    "default": lambda topo: default_routing(topo),
+    "minimal": lambda topo: StaticMinimalRouting(
+        topo, num_vcs=max(2, topo.diameter)
+    ),
+    "dor": lambda topo: DimensionOrderRouting(topo),
+    "valiant": lambda topo: ValiantRouting(topo),
+    "ugal-l": lambda topo: UGALRouting(topo, global_info=False),
+    "ugal-g": lambda topo: UGALRouting(topo, global_info=True),
+}
+
+
+def build_routing(name: str, topology: Topology) -> RoutingAlgorithm:
+    """Instantiate a named routing scheme for ``topology``."""
+    if name not in ROUTING_BUILDERS:
+        raise ValueError(
+            f"unknown routing {name!r}; options: {sorted(ROUTING_BUILDERS)}"
+        )
+    return ROUTING_BUILDERS[name](topology)
+
+
+def topology_fingerprint(topology: Topology) -> str:
+    """Stable structural identity of a topology.
+
+    Covers everything the simulator consumes: the concrete class (it
+    selects the default routing scheme), concentration, and the link
+    graph with per-link physical lengths (they set wire latencies and
+    buffer depths).  Display names are deliberately excluded so renamed
+    but structurally identical networks share cache entries.
+    """
+    payload = {
+        "class": type(topology).__name__,
+        "concentration": topology.concentration,
+        "routers": topology.num_routers,
+        "links": [
+            [i, j, topology.link_length_hops(i, j)] for i, j in topology.edges()
+        ],
+    }
+    blob = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(blob.encode("utf-8")).hexdigest()[:20]
+
+
+def topology_token(topology: Topology | str) -> str:
+    """Spec token for a topology: symbols pass through, objects fingerprint."""
+    if isinstance(topology, str):
+        return topology
+    return FINGERPRINT_PREFIX + topology_fingerprint(topology)
+
+
+def resolve_topology(token: str, layout: str | None = None) -> Topology:
+    """Rebuild a topology from its spec token (catalog symbol or node count).
+
+    Fingerprint tokens are *not* resolvable — the object must be supplied
+    out-of-band by whoever created the spec.
+    """
+    from ..topos import make_network  # local: topos.catalog imports core
+
+    if token.startswith(FINGERPRINT_PREFIX):
+        raise LookupError(
+            f"topology {token!r} is a fingerprint; the caller must supply "
+            "the live Topology object"
+        )
+    if token.isdigit():
+        from ..core.slimnoc import SlimNoC, design_for_nodes
+
+        config = design_for_nodes(int(token))
+        sn_layout = layout or ("sn_gr" if config.square_group_grid else "sn_subgr")
+        return SlimNoC(config.q, config.concentration, layout=sn_layout)
+    return make_network(token, layout=layout)
+
+
+@dataclass(frozen=True)
+class ExperimentSpec:
+    """One simulation point, fully pinned and hashable.
+
+    Attributes:
+        topology: Catalog symbol (``"sn200"``), decimal node count
+            (``"800"``), or ``"fp:<hash>"`` fingerprint token.
+        pattern: Synthetic pattern acronym (``RND``, ``ADV2``, …).
+        load: Offered load in flits/node/cycle.
+        packet_flits: Packet size in flits.
+        config: Full simulator configuration.
+        routing: Routing scheme name from :data:`ROUTING_BUILDERS`.
+        seed: Simulator RNG seed (injection + randomized destinations).
+        warmup / measure / drain: Simulation windows in cycles.
+        layout: SN layout override (catalog-symbol topologies only).
+    """
+
+    topology: str
+    pattern: str
+    load: float
+    packet_flits: int = 6
+    config: SimConfig = field(default_factory=SimConfig)
+    routing: str = "default"
+    seed: int = 1
+    warmup: int = 300
+    measure: int = 800
+    drain: int = 1500
+    layout: str | None = None
+
+    def to_dict(self) -> dict:
+        payload = asdict(self)
+        payload["config"] = asdict(self.config)
+        payload["spec_version"] = SPEC_VERSION
+        return payload
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "ExperimentSpec":
+        payload = dict(payload)
+        payload.pop("spec_version", None)
+        payload["config"] = SimConfig(**payload["config"])
+        return cls(**payload)
+
+    def content_hash(self) -> str:
+        """Stable SHA-256 over the canonical JSON form (the cache key).
+
+        Memoized per instance (the dataclass is frozen, so the hash can
+        never go stale) — the runner and cache consult it repeatedly.
+        """
+        cached = self.__dict__.get("_content_hash")
+        if cached is None:
+            blob = json.dumps(self.to_dict(), sort_keys=True, separators=(",", ":"))
+            cached = hashlib.sha256(blob.encode("utf-8")).hexdigest()
+            self.__dict__["_content_hash"] = cached
+        return cached
+
+    def execute(self, topology: Topology | None = None) -> SimResult:
+        """Run the simulation this spec describes (in any process).
+
+        ``topology`` short-circuits token resolution and is mandatory for
+        fingerprint specs.
+        """
+        topo = topology if topology is not None else resolve_topology(
+            self.topology, self.layout
+        )
+        routing = build_routing(self.routing, topo)
+        sim = NoCSimulator(topo, self.config, routing=routing, seed=self.seed)
+        source = SyntheticSource(
+            topo, self.pattern, self.load, self.packet_flits, seed=self.seed
+        )
+        return sim.run(
+            source, warmup=self.warmup, measure=self.measure, drain=self.drain
+        )

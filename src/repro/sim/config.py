@@ -51,6 +51,12 @@ class SimConfig:
         ejection_queue_flits: NIC ejection queue capacity.
         injection_queue_flits: Advisory NIC injection queue size (sources
             are open-loop; occupancy beyond this flags saturation).
+        saturation_delivery_fraction: A run is saturated when fewer than
+            this fraction of the packets created during the measurement
+            window were delivered by the end of the drain phase.
+        saturation_backlog: A run is saturated when any NIC's standing
+            injection backlog exceeds this many flits (offered load
+            persistently above accepted load).
     """
 
     num_vcs: int = 2
@@ -65,6 +71,8 @@ class SimConfig:
     cbr_patience: int = 4
     ejection_queue_flits: int = 20
     injection_queue_flits: int = 20
+    saturation_delivery_fraction: float = 0.90
+    saturation_backlog: int = 120
 
     @property
     def uses_central_buffer(self) -> bool:

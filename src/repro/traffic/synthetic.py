@@ -22,6 +22,7 @@ with Bernoulli injection.
 
 from __future__ import annotations
 
+import math
 import random
 from collections.abc import Callable
 
@@ -129,6 +130,11 @@ def make_pattern(name: str, topology: Topology) -> PatternFn:
     return PATTERNS[name](topology)
 
 
+#: Patterns whose destination draw is randomized (everything else is a
+#: fixed permutation and needs exactly one flow sample per source).
+RANDOMIZED_PATTERNS = ("RND", "ASYM")
+
+
 class SyntheticSource:
     """Open-loop Bernoulli injection of fixed-size packets.
 
@@ -137,9 +143,18 @@ class SyntheticSource:
         pattern: Pattern name from :data:`PATTERNS`.
         rate: Offered load in flits/node/cycle.
         packet_flits: Packet size (paper default 6).
+        seed: RNG seed for the :meth:`flows` estimate of randomized
+            patterns (packet injection uses the simulator's own RNG).
     """
 
-    def __init__(self, topology: Topology, pattern: str, rate: float, packet_flits: int = 6):
+    def __init__(
+        self,
+        topology: Topology,
+        pattern: str,
+        rate: float,
+        packet_flits: int = 6,
+        seed: int = 0,
+    ):
         if rate < 0:
             raise ValueError("rate must be non-negative")
         self.topology = topology
@@ -147,6 +162,7 @@ class SyntheticSource:
         self.pattern = make_pattern(pattern, topology)
         self.rate = rate
         self.packet_flits = packet_flits
+        self.seed = seed
         self._packet_probability = rate / packet_flits
 
     def packets_at(self, cycle: int, rng: random.Random):
@@ -157,13 +173,27 @@ class SyntheticSource:
                 if dst != src:
                     yield (src, dst, self.packet_flits, "data", False, 0)
 
-    def flows(self) -> dict[tuple[int, int], float]:
+    def default_flow_samples(self) -> int:
+        """Per-source destination samples for :meth:`flows`.
+
+        Deterministic permutations need exactly one sample.  Randomized
+        patterns scale with network size: larger networks spread the same
+        per-source sample budget over many more channels, so the busiest
+        channel's estimate gets noisier unless the budget grows too.
+        """
+        if self.pattern_name not in RANDOMIZED_PATTERNS:
+            return 1
+        return max(200, 16 * math.isqrt(self.topology.num_nodes))
+
+    def flows(self, samples: int | None = None) -> dict[tuple[int, int], float]:
         """Expected router-to-router flow matrix (flits/cycle), for the
-        analytical saturation model.  Randomized patterns are averaged."""
+        analytical saturation model.  Randomized patterns are averaged
+        over ``samples`` draws per source (default: size-scaled, seeded
+        by ``self.seed``)."""
         topo = self.topology
         flows: dict[tuple[int, int], float] = {}
-        rng = random.Random(0)
-        samples = 200 if self.pattern_name in ("RND", "ASYM") else 1
+        rng = random.Random(self.seed)
+        samples = samples if samples is not None else self.default_flow_samples()
         for src in range(topo.num_nodes):
             src_router = topo.node_router(src)
             for _ in range(samples):

@@ -1,0 +1,256 @@
+"""Tests for the experiment engine: specs, cache, runner, campaigns."""
+
+import json
+
+import pytest
+
+from repro.analysis import compare_networks, sweep_loads
+from repro.engine import (
+    ExperimentEngine,
+    ExperimentSpec,
+    ResultCache,
+    resolve_topology,
+    run_compare,
+    topology_fingerprint,
+)
+from repro.engine.cache import SCHEMA_VERSION
+from repro.sim import SimConfig, SimResult
+from repro.topos import make_network
+
+#: Tiny but shape-preserving windows for the sn54/cm54 class.
+FAST = dict(warmup=100, measure=200, drain=300)
+
+
+def fast_spec(load=0.05, **overrides) -> ExperimentSpec:
+    kw = dict(topology="sn54", pattern="RND", load=load, **FAST)
+    kw.update(overrides)
+    return ExperimentSpec(**kw)
+
+
+class TestExperimentSpec:
+    def test_json_round_trip(self):
+        spec = fast_spec(config=SimConfig(num_vcs=3, elastic_links=True))
+        clone = ExperimentSpec.from_dict(json.loads(json.dumps(spec.to_dict())))
+        assert clone == spec
+        assert clone.content_hash() == spec.content_hash()
+
+    def test_hash_sensitive_to_every_knob(self):
+        base = fast_spec()
+        assert base.content_hash() != fast_spec(load=0.06).content_hash()
+        assert base.content_hash() != fast_spec(seed=2).content_hash()
+        assert (
+            base.content_hash()
+            != fast_spec(config=SimConfig(num_vcs=4)).content_hash()
+        )
+
+    def test_fingerprint_stable_and_structural(self):
+        a, b = make_network("sn54"), make_network("sn54")
+        assert topology_fingerprint(a) == topology_fingerprint(b)
+        assert topology_fingerprint(a) != topology_fingerprint(make_network("cm54"))
+        # layouts change wire lengths, hence the fingerprint
+        assert topology_fingerprint(make_network("sn200")) != topology_fingerprint(
+            make_network("sn200", layout="sn_gr")
+        )
+
+    def test_resolve_topology(self):
+        assert resolve_topology("sn54").num_nodes == 54
+        assert resolve_topology("200").num_nodes >= 200
+        with pytest.raises(LookupError):
+            resolve_topology("fp:deadbeef")
+
+    def test_execute_matches_direct_simulation(self):
+        spec = fast_spec()
+        direct = spec.execute(topology=make_network("sn54"))
+        rebuilt = spec.execute()
+        assert direct.avg_latency == rebuilt.avg_latency
+        assert direct.throughput == rebuilt.throughput
+
+
+class TestResultCache:
+    def test_same_spec_twice_is_byte_identical_hit(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        engine = ExperimentEngine(cache=cache)
+        spec = fast_spec()
+        (first,) = engine.run([spec])
+        assert engine.last_stats.executed == 1
+        blob = cache.path_for(spec).read_bytes()
+        (second,) = engine.run([spec])
+        assert engine.last_stats.executed == 0
+        assert engine.last_stats.cache_hits == 1
+        # re-serializing the result reproduces the file byte-for-byte
+        cache.put(spec, second)
+        assert cache.path_for(spec).read_bytes() == blob
+        assert first.avg_latency == second.avg_latency
+        assert first.latencies == second.latencies
+
+    def test_schema_version_mismatch_recomputes(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        engine = ExperimentEngine(cache=cache)
+        spec = fast_spec()
+        engine.run([spec])
+        path = cache.path_for(spec)
+        entry = json.loads(path.read_text())
+        entry["schema"] = SCHEMA_VERSION + 1
+        path.write_text(json.dumps(entry))
+        engine.run([spec])
+        assert engine.last_stats.executed == 1  # stale entry ignored
+        assert json.loads(path.read_text())["schema"] == SCHEMA_VERSION
+
+    def test_corrupt_entry_is_a_miss(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        spec = fast_spec()
+        path = cache.path_for(spec)
+        path.parent.mkdir(parents=True)
+        path.write_text("{not json")
+        assert cache.get(spec) is None
+        path.write_text(json.dumps({"schema": SCHEMA_VERSION, "kind": "sim"}))
+        assert cache.get(spec) is None  # well-formed but truncated entry
+
+    def test_stats_and_clear(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        engine = ExperimentEngine(cache=cache)
+        engine.run([fast_spec(), fast_spec(load=0.08)])
+        stats = cache.stats()
+        assert stats.entries == 2 and stats.size_bytes > 0
+        assert cache.clear() == 2
+        assert cache.stats().entries == 0
+
+
+class TestRunner:
+    def test_duplicate_specs_coalesce(self, tmp_path):
+        engine = ExperimentEngine(cache=ResultCache(tmp_path))
+        spec = fast_spec()
+        results = engine.run([spec, spec, spec])
+        assert engine.last_stats.requested == 3
+        assert engine.last_stats.unique == 1
+        assert engine.last_stats.executed == 1
+        assert results[0].avg_latency == results[2].avg_latency
+
+    def test_runs_without_cache(self):
+        engine = ExperimentEngine(cache=None)
+        (result,) = engine.run([fast_spec()])
+        assert result.delivered_packets > 0
+
+    def test_fingerprint_spec_needs_topology(self, tmp_path):
+        topo = make_network("sn54")
+        spec = fast_spec(topology="fp:" + topology_fingerprint(topo))
+        engine = ExperimentEngine(cache=ResultCache(tmp_path))
+        with pytest.raises(LookupError):
+            engine.run([spec])
+        (result,) = engine.run([spec], topologies={spec.topology: topo})
+        assert result.delivered_packets > 0
+
+
+class TestCampaignParity:
+    #: 2 topologies x 7 loads; the top loads saturate both networks, so
+    #: truncation and early stop are exercised in both execution modes.
+    LOADS = [0.05, 0.1, 0.15, 0.2, 0.3, 0.5, 0.7]
+
+    def test_parallel_matches_serial_point_for_point(self, tmp_path):
+        topos = {"sn54": make_network("sn54"), "cm54": make_network("cm54")}
+        serial = run_compare(
+            ExperimentEngine(cache=ResultCache(tmp_path / "serial")),
+            topos, "RND", self.LOADS, **FAST,
+        )
+        with ExperimentEngine(
+            cache=ResultCache(tmp_path / "par"), max_workers=2
+        ) as parallel_engine:
+            parallel = run_compare(
+                parallel_engine, topos, "RND", self.LOADS, **FAST
+            )
+        assert set(serial) == set(parallel) == set(topos)
+        for label in topos:
+            assert serial[label].points == parallel[label].points
+            assert serial[label].points[-1].saturated
+            assert len(serial[label].points) <= len(self.LOADS)
+
+    def test_repeated_sweep_loads_serves_from_cache(self, tmp_path):
+        engine = ExperimentEngine(cache=ResultCache(tmp_path))
+        topo = make_network("sn54")
+        first = sweep_loads(topo, "RND", [0.02, 0.1], engine=engine, **FAST)
+        assert engine.last_stats.executed > 0
+        again = sweep_loads(topo, "RND", [0.02, 0.1], engine=engine, **FAST)
+        assert engine.last_stats.executed == 0  # zero new simulations
+        assert first.points == again.points
+
+    def test_symbol_and_object_sweeps_share_cache(self, tmp_path):
+        engine = ExperimentEngine(cache=ResultCache(tmp_path))
+        by_symbol = sweep_loads("sn54", "RND", [0.02], engine=engine, **FAST)
+        assert engine.last_stats.executed == 1
+        by_object = sweep_loads(
+            make_network("sn54"), "RND", [0.02], engine=engine, **FAST
+        )
+        assert engine.last_stats.executed == 0  # same fingerprint, same key
+        assert by_symbol.points == by_object.points
+
+    def test_compare_networks_accepts_symbols(self, tmp_path):
+        engine = ExperimentEngine(cache=ResultCache(tmp_path))
+        curves = compare_networks(
+            {"sn54": "sn54", "t2d54": "t2d54"}, "RND", [0.02],
+            engine=engine, **FAST,
+        )
+        assert set(curves) == {"sn54", "t2d54"}
+        assert curves["sn54"].network == "sn54"
+
+
+class TestSerializationSatellites:
+    def test_sim_result_round_trip_small(self):
+        result = fast_spec().execute()
+        clone = SimResult.from_dict(result.to_dict())
+        assert clone.avg_latency == result.avg_latency
+        assert clone.p99_latency == result.p99_latency
+        assert clone.saturated == result.saturated
+
+    def test_large_latency_population_compacts_to_histogram(self):
+        latencies = [10] * 400 + [20] * 400 + [30] * 10
+        result = SimResult(0.1, 1000, 810, 810, 4860, latencies, 54, 500, 0)
+        payload = result.to_dict()
+        assert "latency_hist" in payload and "latencies" not in payload
+        assert payload["latency_hist"] == [[10, 400], [20, 400], [30, 10]]
+        clone = SimResult.from_dict(payload)
+        assert clone.avg_latency == result.avg_latency
+        assert clone.p99_latency == result.p99_latency
+
+    def test_sweep_result_round_trip(self):
+        curve = sweep_loads(make_network("sn54"), "RND", [0.02],
+                            engine=ExperimentEngine(), **FAST)
+        from repro.analysis import SweepResult
+
+        clone = SweepResult.from_dict(json.loads(json.dumps(curve.to_dict())))
+        assert clone.points == curve.points
+        assert clone.network == curve.network
+
+    def test_saturation_thresholds_come_from_config(self):
+        strict = SimConfig(saturation_delivery_fraction=1.1)
+        result = fast_spec(config=strict).execute()
+        assert result.saturation_delivery_fraction == 1.1
+        assert result.saturated  # nothing can deliver 110%
+        lax = SimConfig(saturation_delivery_fraction=0.0, saturation_backlog=10**9)
+        assert not fast_spec(config=lax).execute().saturated
+
+    def test_largescale_model_build_memoizes(self, tmp_path):
+        from repro.analysis import LargeScaleModel
+
+        cache = ResultCache(tmp_path)
+        topo = make_network("sn54")
+        first = LargeScaleModel.build(topo, "RND", cache=cache)
+        assert cache.stats().entries == 1
+        hits_before = cache.hits
+        second = LargeScaleModel.build(topo, "RND", cache=cache)
+        assert cache.hits == hits_before + 1
+        assert second.max_channel_load_per_rate == first.max_channel_load_per_rate
+        assert second.zero_load_latency() == first.zero_load_latency()
+        uncached = LargeScaleModel.build(topo, "RND", cache=False)
+        assert uncached.max_channel_load_per_rate == first.max_channel_load_per_rate
+
+    def test_flow_sampling_scales_and_is_seeded(self):
+        from repro.traffic import SyntheticSource
+
+        small = SyntheticSource(make_network("sn54"), "RND", 0.1)
+        large = SyntheticSource(make_network("sn200"), "RND", 0.1)
+        assert large.default_flow_samples() >= small.default_flow_samples()
+        assert SyntheticSource(make_network("sn54"), "ADV1", 0.1).default_flow_samples() == 1
+        seeded = SyntheticSource(make_network("sn54"), "RND", 0.1, seed=7)
+        assert seeded.flows(samples=50) == seeded.flows(samples=50)
+        other = SyntheticSource(make_network("sn54"), "RND", 0.1, seed=8)
+        assert seeded.flows(samples=50) != other.flows(samples=50)
