@@ -13,6 +13,10 @@ content-addressed on-disk result cache):
   layout): ``python -m repro compare sn200 fbf4 t2d4 --pattern RND``.
 * ``cache``   — result-store maintenance: ``cache stats`` / ``cache
   clear``.
+* ``perf``    — simulator-core timing harness: ``python -m repro perf
+  [--quick] [--check]`` reports simulated cycles/sec against the
+  committed ``benchmarks/BENCH_sim_core.json`` baseline and the pre-
+  optimization reference (see :mod:`repro.perf`).
 
 Repeating a ``sweep``/``compare`` with identical parameters performs
 zero new simulations — every point is served from the cache.
@@ -30,7 +34,7 @@ from .sim import BUFFERING_STRATEGIES, NoCSimulator, SimConfig
 from .topos import catalog_symbols
 from .traffic import SyntheticSource
 
-COMMANDS = ("info", "sweep", "compare", "cache")
+COMMANDS = ("info", "sweep", "compare", "cache", "perf")
 
 
 def parse_loads(text: str) -> list[float]:
@@ -147,6 +151,11 @@ def build_parser() -> argparse.ArgumentParser:
     cache = sub.add_parser("cache", help="result-store maintenance")
     cache.add_argument("action", choices=("stats", "clear"))
     cache.add_argument("--cache-dir", default=None)
+
+    # Listed for --help only; dispatch short-circuits to repro.perf.
+    sub.add_parser("perf", help="simulator-core timing harness "
+                               "(see python -m repro perf --help)",
+                   add_help=False)
     return parser
 
 
@@ -279,6 +288,11 @@ def main(argv: list[str]) -> int:
     if not argv or argv[0] in ("-h", "--help"):
         build_parser().print_help()
         return 0
+    if argv[0] == "perf":
+        # The perf harness owns its own argparse surface (see repro.perf).
+        from .perf import main as perf_main
+
+        return perf_main(argv[1:])
     if argv[0] not in COMMANDS:
         argv = ["info", *argv]  # legacy: ``python -m repro sn1296``
     args = build_parser().parse_args(argv)

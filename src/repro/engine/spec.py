@@ -39,7 +39,9 @@ from ..traffic import SyntheticSource
 
 #: Bump when the *meaning* of a spec changes (e.g. a simulator fix that
 #: alters results for identical inputs) so stale cache entries miss.
-SPEC_VERSION = 1
+#: Version 2: ``SimConfig`` grew the ``fast_forward`` knob (results are
+#: unchanged, but the serialized config — and thus every hash — moved).
+SPEC_VERSION = 2
 
 #: Topology tokens carrying a structural fingerprint instead of a catalog
 #: symbol.  Fingerprinted topologies cannot be rebuilt from the token

@@ -92,10 +92,18 @@ class StaticMinimalRouting(RoutingAlgorithm):
                 f"hop-index VC scheme needs num_vcs >= diameter "
                 f"({topology.diameter}); got {num_vcs}"
             )
+        # Routes are frozen and per-pair deterministic, so one Route
+        # object can serve every packet of a (src, dst) pair — the
+        # simulator calls route() once per injected packet.
+        self._route_cache: dict[tuple[int, int], Route] = {}
 
     def route(self, src: int, dst: int, packet_id: int = 0) -> Route:
-        path = self.minimal.path(src, dst)
-        return Route(path, self._ascending_vcs(path))
+        cached = self._route_cache.get((src, dst))
+        if cached is None:
+            path = self.minimal.path(src, dst)
+            cached = Route(path, self._ascending_vcs(path))
+            self._route_cache[(src, dst)] = cached
+        return cached
 
 
 class DimensionOrderRouting(RoutingAlgorithm):
@@ -116,6 +124,7 @@ class DimensionOrderRouting(RoutingAlgorithm):
             raise ValueError("torus dateline scheme needs >= 2 VCs")
         super().__init__(topology, num_vcs)
         self.is_torus = isinstance(topology, Torus2D)
+        self._route_cache: dict[tuple[int, int], Route] = {}
 
     def _steps(self, frm: int, to: int, size: int) -> list[int]:
         """Per-dimension coordinate sequence (minimal, wrap-aware on torus)."""
@@ -133,6 +142,9 @@ class DimensionOrderRouting(RoutingAlgorithm):
         return seq
 
     def route(self, src: int, dst: int, packet_id: int = 0) -> Route:
+        cached = self._route_cache.get((src, dst))
+        if cached is not None:
+            return cached
         grid: _GridTopology = self.topology  # type: ignore[assignment]
         sx, sy = grid.position_of(src)
         dx, dy = grid.position_of(dst)
@@ -140,7 +152,9 @@ class DimensionOrderRouting(RoutingAlgorithm):
         ys = self._steps(sy, dy, grid.rows)
         path = [grid.router_at(x, sy) for x in xs]
         path += [grid.router_at(dx, y) for y in ys[1:]]
-        return Route(tuple(path), tuple(self._vc_schedule(path, grid, dx, sy)))
+        route = Route(tuple(path), tuple(self._vc_schedule(path, grid, dx, sy)))
+        self._route_cache[(src, dst)] = route
+        return route
 
     def _vc_schedule(self, path: list[int], grid: _GridTopology, dx: int, sy: int) -> list[int]:
         """Dateline VCs: start on VC0, move to VC1 at the wrap link of the

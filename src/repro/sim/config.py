@@ -57,6 +57,12 @@ class SimConfig:
         saturation_backlog: A run is saturated when any NIC's standing
             injection backlog exceeds this many flits (offered load
             persistently above accepted load).
+        fast_forward: Let :meth:`~repro.sim.NoCSimulator.run` jump ``now``
+            across cycles in which no component can make progress (all
+            buffered flits waiting out pipeline/CB delays, all link and
+            ejection events scheduled later).  The jump is exact — results
+            are bit-identical either way — so this exists purely as a
+            debugging escape hatch for stepping the idle cycles manually.
     """
 
     num_vcs: int = 2
@@ -73,6 +79,7 @@ class SimConfig:
     injection_queue_flits: int = 20
     saturation_delivery_fraction: float = 0.90
     saturation_backlog: int = 120
+    fast_forward: bool = True
 
     @property
     def uses_central_buffer(self) -> bool:

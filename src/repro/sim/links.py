@@ -31,38 +31,45 @@ def link_latency(distance_hops: int, hops_per_cycle: int = 1) -> int:
 
 
 class CreditLink:
-    """Fixed-latency flit pipe with symmetric credit return path."""
+    """Fixed-latency flit pipe with symmetric credit return path.
+
+    This is the standalone (unit-tested) wire model.  The simulator's
+    event wheel carries credit-link flits and credits itself — it only
+    reads ``latency`` from these objects at build time — so the transit
+    queues here are exercised by direct users and tests, not by
+    :class:`~repro.sim.NoCSimulator`.
+    """
 
     def __init__(self, latency: int):
         if latency < 1:
             raise ValueError("link latency must be >= 1")
         self.latency = latency
-        self._flits: deque[tuple[int, Flit, int]] = deque()
-        self._credits: deque[tuple[int, int]] = deque()
+        self.flits: deque[tuple[int, Flit, int]] = deque()
+        self.credits: deque[tuple[int, int]] = deque()
 
     def send_flit(self, flit: Flit, vc: int, now: int) -> None:
-        self._flits.append((now + self.latency, flit, vc))
+        self.flits.append((now + self.latency, flit, vc))
 
     def send_credit(self, vc: int, now: int) -> None:
-        self._credits.append((now + self.latency, vc))
+        self.credits.append((now + self.latency, vc))
 
     def arrivals(self, now: int) -> list[tuple[Flit, int]]:
         """Flits whose transit completes at ``now`` (FIFO per link)."""
         out = []
-        while self._flits and self._flits[0][0] <= now:
-            _, flit, vc = self._flits.popleft()
+        while self.flits and self.flits[0][0] <= now:
+            _, flit, vc = self.flits.popleft()
             out.append((flit, vc))
         return out
 
     def credit_arrivals(self, now: int) -> list[int]:
         out = []
-        while self._credits and self._credits[0][0] <= now:
-            out.append(self._credits.popleft()[1])
+        while self.credits and self.credits[0][0] <= now:
+            out.append(self.credits.popleft()[1])
         return out
 
     @property
     def in_flight(self) -> int:
-        return len(self._flits)
+        return len(self.flits)
 
 
 class ElasticLink:
@@ -81,6 +88,7 @@ class ElasticLink:
         # stages[s][vc] is the flit in stage s's slave latch for vc.
         self.stages: list[dict[int, Flit]] = [{} for _ in range(latency)]
         self._rr = [0] * latency  # round-robin pointer per stage's master latch
+        self._in_flight = 0  # incrementally maintained across push/advance
 
     def can_accept(self, vc: int) -> bool:
         return vc not in self.stages[0]
@@ -89,9 +97,14 @@ class ElasticLink:
         if vc in self.stages[0]:
             raise RuntimeError("elastic stage 0 busy for this VC")
         self.stages[0][vc] = flit
+        self._in_flight += 1
 
     def advance(self, downstream_free) -> list[tuple[Flit, int]]:
         """One cycle of pipeline motion, last stage first.
+
+        Each non-empty stage round-robins over the VCs whose flit can move
+        forward (inlined here — this runs once per in-flight link per
+        cycle, the elastic hot path).
 
         Args:
             downstream_free: callable ``(vc) -> bool`` — can the router's
@@ -101,36 +114,35 @@ class ElasticLink:
             Flits delivered into the downstream router this cycle.
         """
         delivered: list[tuple[Flit, int]] = []
-        for stage_index in range(self.latency - 1, -1, -1):
-            stage = self.stages[stage_index]
+        stages = self.stages
+        rr = self._rr
+        num_vcs = self.num_vcs
+        last = self.latency - 1
+        for stage_index in range(last, -1, -1):
+            stage = stages[stage_index]
             if not stage:
                 continue
-            chosen = self._pick(stage_index, stage, downstream_free)
-            if chosen is None:
-                continue
-            flit = stage.pop(chosen)
-            if stage_index == self.latency - 1:
-                delivered.append((flit, chosen))
-            else:
-                self.stages[stage_index + 1][chosen] = flit
+            next_stage = stages[stage_index + 1] if stage_index != last else None
+            start = rr[stage_index]
+            for offset in range(num_vcs):
+                vc = (start + offset) % num_vcs
+                if vc not in stage:
+                    continue
+                if next_stage is None:
+                    if not downstream_free(vc):
+                        continue
+                    rr[stage_index] = (vc + 1) % num_vcs
+                    delivered.append((stage.pop(vc), vc))
+                    self._in_flight -= 1
+                    break
+                if vc not in next_stage:
+                    rr[stage_index] = (vc + 1) % num_vcs
+                    next_stage[vc] = stage.pop(vc)
+                    break
         return delivered
-
-    def _pick(self, stage_index: int, stage: dict[int, Flit], downstream_free) -> int | None:
-        """Round-robin over VCs whose flit can move forward."""
-        start = self._rr[stage_index]
-        for offset in range(self.num_vcs):
-            vc = (start + offset) % self.num_vcs
-            if vc not in stage:
-                continue
-            if stage_index == self.latency - 1:
-                movable = downstream_free(vc)
-            else:
-                movable = vc not in self.stages[stage_index + 1]
-            if movable:
-                self._rr[stage_index] = (vc + 1) % self.num_vcs
-                return vc
-        return None
 
     @property
     def in_flight(self) -> int:
-        return sum(len(stage) for stage in self.stages)
+        """Flits anywhere in the pipeline — an O(1) counter, not a scan
+        (the simulator polls this per active link per cycle)."""
+        return self._in_flight

@@ -39,9 +39,21 @@ class Packet:
     kind: str = "data"
     wants_reply: bool = False
     reply_size: int = 0
-    pid: int = field(default_factory=lambda: next(_packet_ids))
+    pid: int = field(default_factory=_packet_ids.__next__)
     injected: int = -1
     ejected: int = -1
+
+    def __post_init__(self) -> None:
+        # Hot-path aliases: the simulator indexes the route's path/VC
+        # schedule once per flit per cycle, and ``route.path`` costs two
+        # attribute hops where ``path`` costs one.  ``last_hop`` is the
+        # hop index at which a flit has reached its destination router;
+        # ``ej_key`` is the ejection out-port key — both built once here
+        # instead of once per arbitration attempt.
+        self.path = self.route.path
+        self.vcs = self.route.vcs
+        self.last_hop = len(self.route.path) - 1
+        self.ej_key = ("ej", self.dst)
 
     @property
     def latency(self) -> int:

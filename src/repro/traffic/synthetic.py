@@ -166,12 +166,21 @@ class SyntheticSource:
         self._packet_probability = rate / packet_flits
 
     def packets_at(self, cycle: int, rng: random.Random):
-        """Packet specs for this cycle: (src, dst, size, kind, reply?, reply_size)."""
+        """Packet specs for this cycle: (src, dst, size, kind, reply?, reply_size).
+
+        Called once per simulated cycle, so the per-node Bernoulli loop is
+        hot: attribute lookups are hoisted out of it (the draw sequence is
+        untouched — one ``rng.random()`` per node, in node order).
+        """
+        probability = self._packet_probability
+        pattern = self.pattern
+        size = self.packet_flits
+        draw = rng.random
         for src in range(self.topology.num_nodes):
-            if rng.random() < self._packet_probability:
-                dst = self.pattern(src, rng)
+            if draw() < probability:
+                dst = pattern(src, rng)
                 if dst != src:
-                    yield (src, dst, self.packet_flits, "data", False, 0)
+                    yield (src, dst, size, "data", False, 0)
 
     def default_flow_samples(self) -> int:
         """Per-source destination samples for :meth:`flows`.

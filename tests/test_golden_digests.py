@@ -1,0 +1,129 @@
+"""Golden-digest regression tests for the simulator core.
+
+The activity-tracked scheduler (active router/link sets + fast-forward,
+see :mod:`repro.sim.network`) is a pure performance optimization: for any
+(topology, pattern, flow control, seed) it must produce **bit-identical**
+``SimResult``\\ s to the naive lockstep core it replaced.  These tests pin
+that contract: every case in :data:`MATRIX` is simulated and its
+``SimResult.to_dict()`` is hashed; the digests were recorded *before* the
+refactor (``tests/golden/sim_digests.json``) and any drift — one cycle,
+one latency sample, one reordered packet — fails the suite.
+
+Regenerate (only after an intentional, spec-version-bumping semantic
+change to the simulator)::
+
+    PYTHONPATH=src python tests/test_golden_digests.py --regen
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.sim import NoCSimulator, SimConfig, cbr, eb_var, el_links
+from repro.topos import make_network
+from repro.traffic import SyntheticSource
+
+GOLDEN_PATH = Path(__file__).parent / "golden" / "sim_digests.json"
+
+CONFIGS = {
+    "eb": SimConfig,
+    "ebvar": eb_var,
+    "el": el_links,
+    "cbr12": lambda: cbr(12),
+}
+
+#: (topology, pattern, config key, load, seed, warmup, measure, drain).
+#: Covers both flow controls and the CBR across a low-diameter SN, a
+#: flattened butterfly, and a torus (dateline VCs), under a randomized and
+#: an adversarial pattern, at a sub-saturation and a contended load.  The
+#: very-low-load rows matter specifically for the fast-forward path: only
+#: when the network drains empty *inside* the measurement window do
+#: ``now`` jumps overlap live injection, which is where a skipped or
+#: double-consumed ``packets_at`` draw would desynchronize the RNG.
+MATRIX: list[tuple[str, str, str, float, int, int, int, int]] = [
+    (topo, pattern, cfg, 0.08, 1, 80, 200, 600)
+    for topo in ("sn54", "fbf3", "t2d4")
+    for pattern in ("RND", "ADV1")
+    for cfg in ("eb", "el", "cbr12")
+] + [
+    ("sn54", "RND", cfg, 0.30, 2, 80, 200, 600)
+    for cfg in ("eb", "ebvar", "el", "cbr12")
+] + [
+    ("sn54", "RND", cfg, 0.02, 1, 100, 250, 600)
+    for cfg in ("eb", "ebvar", "el", "cbr12")
+] + [
+    ("sn200", "RND", "eb", 0.008, 1, 200, 500, 1200),
+    ("sn200", "ADV2", "el", 0.01, 3, 200, 500, 1200),
+]
+
+
+def case_id(case: tuple) -> str:
+    topo, pattern, cfg, load, seed, warmup, measure, drain = case
+    return f"{topo}/{pattern}/{cfg}/load={load:g}/seed={seed}/{warmup}+{measure}+{drain}"
+
+
+def run_case(case: tuple) -> dict:
+    topo_sym, pattern, cfg, load, seed, warmup, measure, drain = case
+    topology = make_network(topo_sym)
+    sim = NoCSimulator(topology, CONFIGS[cfg](), seed=seed)
+    source = SyntheticSource(topology, pattern, load)
+    result = sim.run(source, warmup=warmup, measure=measure, drain=drain)
+    return result.to_dict()
+
+
+def digest(payload: dict) -> str:
+    blob = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(blob.encode("utf-8")).hexdigest()
+
+
+def load_golden() -> dict[str, str]:
+    return json.loads(GOLDEN_PATH.read_text())["digests"]
+
+
+@pytest.mark.parametrize("case", MATRIX, ids=case_id)
+def test_simresult_matches_golden_digest(case):
+    golden = load_golden()
+    assert case_id(case) in golden, "regenerate tests/golden/sim_digests.json"
+    assert digest(run_case(case)) == golden[case_id(case)]
+
+
+def test_matrix_and_golden_file_agree():
+    """Every matrix case is pinned and no stale digests linger."""
+    golden = load_golden()
+    assert sorted(golden) == sorted(case_id(c) for c in MATRIX)
+
+
+def test_repeated_runs_are_deterministic():
+    """Two fresh simulators over the same case agree exactly (no hidden
+    global state beyond the packet-id counter, which to_dict excludes)."""
+    case = MATRIX[0]
+    assert run_case(case) == run_case(case)
+
+
+def regenerate() -> None:
+    GOLDEN_PATH.parent.mkdir(parents=True, exist_ok=True)
+    digests = {}
+    for case in MATRIX:
+        payload = run_case(case)
+        digests[case_id(case)] = digest(payload)
+        print(f"{case_id(case)}  cycles={payload['cycles']}"
+              f" delivered={payload['delivered_packets']}")
+    GOLDEN_PATH.write_text(json.dumps(
+        {"note": "sha256 over canonical SimResult.to_dict() JSON; "
+                 "regenerate only on intentional semantic changes "
+                 "(bump repro.engine.spec.SPEC_VERSION alongside)",
+         "digests": digests},
+        indent=2, sort_keys=True) + "\n")
+    print(f"wrote {len(digests)} digests to {GOLDEN_PATH}")
+
+
+if __name__ == "__main__":
+    import sys
+
+    if "--regen" not in sys.argv:
+        raise SystemExit("refusing to run without --regen")
+    regenerate()

@@ -2,6 +2,8 @@
 
 import pytest
 
+from dataclasses import replace
+
 from repro.routing import StaticMinimalRouting, UGALRouting
 from repro.sim import NoCSimulator, SimConfig, cbr, eb_var, el_links, link_latency
 from repro.sim.links import CreditLink, ElasticLink
@@ -304,9 +306,102 @@ class TestSimResult:
         res = SimResult(0.1, 100, 100, 100, 600, list(range(100)), 200, 100, 0)
         assert res.p99_latency >= 98
 
+    def test_repeated_percentile_access_does_not_resort(self):
+        """p99 sorts once; further accesses reuse the cached order."""
+        from repro.sim.network import SimResult
+
+        res = SimResult(0.1, 100, 100, 100, 600, [5, 1, 9, 3] * 30, 200, 100, 0)
+        first = res.sorted_latencies
+        assert first == sorted(res.latencies)
+        assert res.sorted_latencies is first  # identity: no second sort
+        p99 = res.p99_latency
+        assert res.p99_latency == p99
+        # The latency list is treated as immutable once the result exists:
+        # a later mutation must not trigger a re-sort on access.
+        res.latencies.append(10**6)
+        assert res.sorted_latencies is first
+
     def test_routing_topology_mismatch_rejected(self):
         sn = make_network("sn200")
         other = make_network("sn54")
         routing = StaticMinimalRouting(other, num_vcs=2)
         with pytest.raises(ValueError):
             NoCSimulator(sn, routing=routing)
+
+
+class TestIncrementalCounters:
+    """Counters that replaced per-call scans must track the scanned truth."""
+
+    def test_elastic_in_flight_matches_stage_scan(self):
+        link = ElasticLink(latency=3, num_vcs=2)
+        link.push("a", 0)
+        link.push("b", 1)
+        for blocked in (False, True, False, True, False, False, False):
+            assert link.in_flight == sum(len(s) for s in link.stages)
+            link.advance(lambda vc: not blocked)
+        assert link.in_flight == 0
+
+    def test_injection_backlog_max_matches_list_scan(self):
+        topo = make_network("sn54")
+        sim = NoCSimulator(topo, seed=9)
+        source = SyntheticSource(topo, "RND", rate=0.25)
+        for _ in range(120):
+            for spec in source.packets_at(sim.now, sim.rng):
+                sim.inject_packet(*spec)
+            sim.step()
+            assert sim._current_backlog() == max(sim.injection_backlog)
+
+    def test_router_occupancy_counters_consistent(self):
+        topo = make_network("sn54")
+        sim = NoCSimulator(topo, seed=4)
+        source = SyntheticSource(topo, "RND", rate=0.3)
+        for _ in range(150):
+            for spec in source.packets_at(sim.now, sim.rng):
+                sim.inject_packet(*spec)
+            sim.step()
+            for router in sim.routers:
+                occupied = {u.index for u in router.in_units if u.buffer}
+                assert router.occupied == occupied
+                assert router.buffered == sum(
+                    len(u.buffer) for u in router.in_units
+                )
+                if router.buffered or router.cb_flits:
+                    assert router.index in sim._active_routers
+
+
+class TestFastForward:
+    """`now` jumps are a pure optimization: toggling them off must not
+    change a single byte of the result."""
+
+    @pytest.mark.parametrize("make_config", [SimConfig, eb_var, el_links, lambda: cbr(12)])
+    @pytest.mark.parametrize("rate", [0.004, 0.02, 0.12])
+    def test_fast_forward_toggle_is_bit_identical(self, make_config, rate):
+        topo = make_network("sn54")
+        results = {}
+        for fast_forward in (True, False):
+            config = replace(make_config(), fast_forward=fast_forward)
+            sim = NoCSimulator(topo, config, seed=5)
+            source = SyntheticSource(topo, "RND", rate)
+            results[fast_forward] = sim.run(
+                source, warmup=120, measure=300, drain=700
+            ).to_dict()
+        assert results[True] == results[False]
+
+    def test_fast_forward_skips_cycles_in_bulk(self):
+        """At near-zero load the run loop must visit far fewer iterations
+        than simulated cycles (the whole point of fast-forward)."""
+        topo = make_network("sn54")
+        sim = NoCSimulator(topo, SimConfig(), seed=5)
+        steps = 0
+        original = sim.step
+
+        def counting_step():
+            nonlocal steps
+            steps += 1
+            return original()
+
+        sim.step = counting_step
+        result = sim.run(
+            SyntheticSource(topo, "RND", 0.002), warmup=200, measure=400, drain=800
+        )
+        assert result.cycles > steps  # jumped over idle stretches
