@@ -2,68 +2,42 @@
 
 EDP normalised to FBF for each benchmark; the paper reports SN ~55%
 below FBF, ~29% below PFBF, and ~19% below CM on the geometric mean.
+
+The (network x benchmark) grid runs through the experiment engine:
+every point is content-addressed in the result cache and
+``REPRO_WORKERS=N`` fans fresh points across worker processes.
 """
 
-from repro.analysis import geometric_mean
-from repro.power import dynamic_power, make_metrics, normalize, static_power, technology
-from repro.sim import NoCSimulator
-from repro.topos import cycle_time_ns
-from repro.traffic import WorkloadSource, workload_names
+from repro.analysis import edp_gain, edp_table, workload_table
+from repro.traffic import workload_names
 
-from harness import network, print_series, route_stats, smart_config
+from harness import print_series
 
 NETWORKS = ["fbf3", "pfbf3", "cm3", "sn200"]
-TECH = technology(45)
 SIM_KW = dict(warmup=200, measure=400, drain=1000)
 
 
-def measure_edp(sym: str, bench: str) -> float:
-    topo = network(sym)
-    config = smart_config()
-    sim = NoCSimulator(topo, config, seed=3)
-    result = sim.run(WorkloadSource(topo, bench, seed=5), **SIM_KW)
-    ct = cycle_time_ns(sym)
-    metrics = make_metrics(
-        throughput_flits_per_cycle=result.throughput * topo.num_nodes,
-        cycle_time_ns=ct,
-        static=static_power(topo, TECH, hops_per_cycle=9, edge_buffer_flits=None),
-        dynamic=dynamic_power(
-            topo, TECH, result.throughput, ct, route_stats(sym),
-            hops_per_cycle=9, edge_buffer_flits=None,
-        ),
-        avg_latency_cycles=result.avg_latency,
-    )
-    return metrics.energy_delay_product
-
-
 def run_all():
-    table = {}
-    for bench in workload_names():
-        values = {sym: measure_edp(sym, bench) for sym in NETWORKS}
-        table[bench] = normalize(values, "fbf3")
-    return table
+    table = workload_table(NETWORKS, workload_names(), smart=True, seed=3, **SIM_KW)
+    return edp_table(table, "fbf3")
 
 
 def test_fig18(benchmark):
-    table = benchmark.pedantic(run_all, rounds=1, iterations=1)
+    edp = benchmark.pedantic(run_all, rounds=1, iterations=1)
     rows = [
-        [bench] + [round(table[bench][sym], 3) for sym in NETWORKS]
+        [bench] + [round(edp[bench][sym], 3) for sym in NETWORKS]
         for bench in workload_names()
     ]
     print_series("Figure 18: EDP normalised to fbf3 (SMART, 45nm)", ["bench"] + NETWORKS, rows)
-    sn_gain = 1 - geometric_mean([table[b]["sn200"] for b in workload_names()])
-    pfbf_gain = 1 - geometric_mean(
-        [table[b]["sn200"] / table[b]["pfbf3"] for b in workload_names()]
-    )
-    cm_gain = 1 - geometric_mean(
-        [table[b]["sn200"] / table[b]["cm3"] for b in workload_names()]
-    )
+    sn_gain = edp_gain(edp, "sn200", "fbf3")
+    pfbf_gain = edp_gain(edp, "sn200", "pfbf3")
+    cm_gain = edp_gain(edp, "sn200", "cm3")
     print(
         f"\nSN EDP gains (geomean): vs FBF {sn_gain:.0%} (paper ~55%), "
         f"vs PFBF {pfbf_gain:.0%} (paper ~29%), vs CM {cm_gain:.0%} (paper ~19%)"
     )
     # SN beats FBF on EDP for every workload, and the mean gain is large.
-    assert all(table[b]["sn200"] < 1.0 for b in workload_names())
+    assert all(edp[b]["sn200"] < 1.0 for b in workload_names())
     assert sn_gain > 0.25
     # SN beats PFBF on the geometric mean.
     assert pfbf_gain > 0.0

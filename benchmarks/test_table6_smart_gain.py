@@ -3,34 +3,21 @@ per PARSEC/SPLASH workload, N ~ 200.
 
 Paper (geometric means): fbf3 ~7.6%, pfbf3 ~8%, cm3 ~0%, SN ~11.3% —
 SN benefits most because its wires are the longest.
+
+Both configurations (SMART on/off) of the (network x benchmark) grid
+run through the experiment engine as cached, parallelizable campaigns.
 """
 
-from repro.analysis import geometric_mean
-from repro.sim import NoCSimulator
-from repro.traffic import WorkloadSource
+from repro.analysis import geometric_mean, smart_latency_gains
 
-from harness import SIM_KW, network, print_series
-from repro.sim.config import SimConfig
+from harness import SIM_KW, print_series
 
 NETWORKS = ["fbf3", "pfbf3", "cm3", "sn200"]
 BENCHES = ["barnes", "canneal", "fft", "ocean-c", "radix", "streamcluster", "vips", "water-s"]
 
 
-def latency(sym: str, bench: str, smart: bool) -> float:
-    topo = network(sym)
-    config = SimConfig().with_smart(smart)
-    sim = NoCSimulator(topo, config, seed=4)
-    return sim.run(WorkloadSource(topo, bench, seed=6), **SIM_KW).avg_latency
-
-
 def run_table6():
-    gains = {}
-    for sym in NETWORKS:
-        for bench in BENCHES:
-            no_smart = latency(sym, bench, False)
-            smart = latency(sym, bench, True)
-            gains[(sym, bench)] = 100.0 * (1 - smart / no_smart)
-    return gains
+    return smart_latency_gains(NETWORKS, BENCHES, seed=4, **SIM_KW)
 
 
 def test_table6(benchmark):

@@ -3,46 +3,23 @@
 and the baselines, reporting latency and energy-delay product (the
 paper's Figure 18 experiment).
 
+Runs through the experiment engine, so points are cached in
+``.repro_cache/`` (a re-run performs zero new simulations) and
+``REPRO_WORKERS=N`` fans the (network x benchmark) grid across N worker
+processes.  Equivalent CLI: ``python -m repro workloads sn200 fbf3 ...``.
+
 Run:  python examples/trace_workloads.py [bench ...]
       (default benches: barnes fft ocean-c water-s)
 """
 
 import sys
 
-from repro import (
-    NoCSimulator,
-    SimConfig,
-    WorkloadSource,
-    cycle_time_ns,
-    dynamic_power,
-    format_table,
-    make_metrics,
-    make_network,
-    static_power,
-    TECH_45NM,
-    workload_names,
-)
-from repro.power import average_route_stats
+from repro import format_table, workload_names
+from repro.analysis import edp_table, workload_table
+from repro.engine import default_engine
 
 NETWORKS = ["sn200", "fbf3", "pfbf3", "cm3"]
-
-
-def run(symbol: str, bench: str):
-    topo = make_network(symbol)
-    sim = NoCSimulator(topo, SimConfig().with_smart(), seed=3)
-    result = sim.run(WorkloadSource(topo, bench, seed=5), warmup=300, measure=600, drain=1200)
-    ct = cycle_time_ns(symbol)
-    metrics = make_metrics(
-        throughput_flits_per_cycle=result.throughput * topo.num_nodes,
-        cycle_time_ns=ct,
-        static=static_power(topo, TECH_45NM, hops_per_cycle=9, edge_buffer_flits=None),
-        dynamic=dynamic_power(
-            topo, TECH_45NM, result.throughput, ct, average_route_stats(topo),
-            hops_per_cycle=9, edge_buffer_flits=None,
-        ),
-        avg_latency_cycles=result.avg_latency,
-    )
-    return result, metrics
+BASELINE = "fbf3"
 
 
 def main():
@@ -51,23 +28,24 @@ def main():
     if unknown:
         raise SystemExit(f"unknown benchmarks {sorted(unknown)}; options: {workload_names()}")
 
+    engine = default_engine()
+    table = workload_table(NETWORKS, benches, smart=True, engine=engine)
+    edp = edp_table(table, BASELINE)
     for bench in benches:
-        rows = []
-        edp = {}
-        for symbol in NETWORKS:
-            result, metrics = run(symbol, bench)
-            edp[symbol] = metrics.energy_delay_product
-            rows.append(
-                [symbol, f"{result.avg_latency:.1f}", f"{result.throughput:.4f}",
-                 f"{metrics.total_power_w:.2f}", f"{metrics.energy_delay_product:.3e}"]
-            )
-        for row in rows:
-            row.append(f"{edp[row[0]] / edp['fbf3']:.2f}")
+        rows = [
+            [symbol, f"{row.avg_latency:.1f}", f"{row.throughput:.4f}",
+             f"{row.total_power_w:.2f}", f"{row.energy_delay_product:.3e}",
+             f"{edp[bench][symbol]:.2f}"]
+            for symbol, row in ((s, table[s][bench]) for s in NETWORKS)
+        ]
         print()
         print(format_table(
             ["network", "latency [cyc]", "thr [f/n/c]", "power [W]", "EDP [Js]", "EDP/fbf3"],
             rows, title=f"Workload '{bench}' (SMART, 45nm)",
         ))
+    stats = engine.total_stats
+    print(f"\nengine: {stats.cache_hits} cached, {stats.executed} simulated, "
+          f"{stats.workers} workers")
 
 
 if __name__ == "__main__":

@@ -11,8 +11,13 @@ content-addressed on-disk result cache):
   --loads 0.02:0.5:0.04 --workers 8``.
 * ``compare`` — several networks under one pattern (the Figure 12-14
   layout): ``python -m repro compare sn200 fbf4 t2d4 --pattern RND``.
-* ``cache``   — result-store maintenance: ``cache stats`` / ``cache
-  clear``.
+* ``workloads`` — PARSEC/SPLASH benchmark models across networks with
+  the power/EDP join (the Figure 18 layout): ``python -m repro
+  workloads sn200 fbf3 --benches barnes,fft,ocean-c --workers 8``.
+* ``cache``   — result-store maintenance: ``cache stats`` (size plus
+  reclaimable bytes from superseded schema/spec versions) / ``cache
+  clear`` / ``cache gc [--max-bytes N] [--max-age DAYS]`` (LRU eviction
+  by file mtime; unreachable entries always go first).
 * ``perf``    — simulator-core timing harness: ``python -m repro perf
   [--quick] [--check]`` reports simulated cycles/sec against the
   committed ``benchmarks/BENCH_sim_core.json`` baseline and the pre-
@@ -25,6 +30,7 @@ zero new simulations — every point is served from the cache.
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 
 from .analysis import format_table
@@ -32,9 +38,9 @@ from .engine import ExperimentEngine, ResultCache, run_compare, run_sweep
 from .power import TECH_45NM, network_area, static_power
 from .sim import BUFFERING_STRATEGIES, NoCSimulator, SimConfig
 from .topos import catalog_symbols
-from .traffic import SyntheticSource
+from .traffic import SyntheticSource, workload_names
 
-COMMANDS = ("info", "sweep", "compare", "cache", "perf")
+COMMANDS = ("info", "sweep", "compare", "workloads", "cache", "perf")
 
 
 def parse_loads(text: str) -> list[float]:
@@ -73,8 +79,7 @@ def _build_engine(args: argparse.Namespace) -> ExperimentEngine:
 def _progress(done: int, total: int, spec, cached: bool) -> None:
     tag = "cache" if cached else "sim"
     print(
-        f"  [{done}/{total}] {spec.topology} {spec.pattern} "
-        f"load={spec.load:g} ({tag})",
+        f"  [{done}/{total}] {spec.topology} {spec.source.label} ({tag})",
         file=sys.stderr,
     )
 
@@ -148,9 +153,37 @@ def build_parser() -> argparse.ArgumentParser:
     _add_sim_options(compare)
     _add_engine_options(compare)
 
+    workloads = sub.add_parser(
+        "workloads",
+        help="PARSEC/SPLASH workload models with the power/EDP join (Fig 18)",
+    )
+    workloads.add_argument("networks", nargs="+",
+                           help="catalog symbols (cycle times are per symbol)")
+    workloads.add_argument("--benches", default="barnes,fft,ocean-c,water-s",
+                           help="comma list of benchmark names "
+                                "(default barnes,fft,ocean-c,water-s)")
+    workloads.add_argument("--baseline", default=None,
+                           help="EDP normalisation network "
+                                "(default: first network)")
+    workloads.add_argument("--intensity-scale", type=float, default=1.0,
+                           help="multiply each benchmark's injection intensity")
+    workloads.add_argument("--no-smart", action="store_true",
+                           help="disable SMART links (Figure 18 uses SMART)")
+    workloads.add_argument("--json", dest="json_path", default=None,
+                           help="also write rows as JSON to this path")
+    workloads.add_argument("--seed", type=int, default=3)
+    workloads.add_argument("--warmup", type=int, default=300)
+    workloads.add_argument("--measure", type=int, default=600)
+    workloads.add_argument("--drain", type=int, default=1200)
+    _add_engine_options(workloads)
+
     cache = sub.add_parser("cache", help="result-store maintenance")
-    cache.add_argument("action", choices=("stats", "clear"))
+    cache.add_argument("action", choices=("stats", "clear", "gc"))
     cache.add_argument("--cache-dir", default=None)
+    cache.add_argument("--max-bytes", type=int, default=None,
+                       help="gc: evict LRU entries until the store fits")
+    cache.add_argument("--max-age", type=float, default=None, metavar="DAYS",
+                       help="gc: evict entries untouched for this many days")
 
     # Listed for --help only; dispatch short-circuits to repro.perf.
     sub.add_parser("perf", help="simulator-core timing harness "
@@ -265,11 +298,94 @@ def cmd_compare(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_workloads(args: argparse.Namespace) -> int:
+    from .analysis import edp_gain, edp_table, workload_table
+
+    benches = [b for b in args.benches.split(",") if b]
+    unknown = set(benches) - set(workload_names())
+    if unknown:
+        raise ValueError(
+            f"unknown benchmarks {sorted(unknown)}; options: {workload_names()}"
+        )
+    baseline = args.baseline or args.networks[0]
+    if baseline not in args.networks:
+        raise ValueError(f"baseline {baseline!r} is not among the networks")
+    progress = None if args.quiet else _progress
+    with _build_engine(args) as engine:
+        table = workload_table(
+            args.networks, benches,
+            smart=not args.no_smart,
+            intensity_scale=args.intensity_scale,
+            seed=args.seed, warmup=args.warmup, measure=args.measure,
+            drain=args.drain, engine=engine, progress=progress,
+        )
+        stats = engine.total_stats
+    edp = edp_table(table, baseline)
+    for bench in benches:
+        rows = [
+            [
+                symbol,
+                round(table[symbol][bench].avg_latency, 1),
+                round(table[symbol][bench].throughput, 4),
+                round(table[symbol][bench].total_power_w, 2),
+                f"{table[symbol][bench].energy_delay_product:.3e}",
+                round(edp[bench][symbol], 3),
+            ]
+            for symbol in args.networks
+        ]
+        print(format_table(
+            ["network", "latency [cyc]", "thr [f/n/c]", "power [W]",
+             "EDP [Js]", f"EDP/{baseline}"],
+            rows,
+            title=f"Workload '{bench}' "
+                  f"({'no SMART' if args.no_smart else 'SMART'}, 45nm)",
+        ))
+        print()
+    others = [sym for sym in args.networks if sym != baseline]
+    if others and len(benches) > 1:
+        gains = "  ".join(
+            f"{sym}: {edp_gain(edp, sym, baseline):+.0%}" for sym in others
+        )
+        print(f"  EDP gain vs {baseline} (geomean): {gains}")
+    print(f"  engine: {stats.cache_hits} cached, {stats.executed} simulated, "
+          f"{stats.workers} workers")
+    if args.json_path:
+        payload = {
+            "baseline": baseline,
+            "rows": [
+                table[symbol][bench].to_dict()
+                for symbol in args.networks for bench in benches
+            ],
+            "edp_normalized": edp,
+            "engine": {"cache_hits": stats.cache_hits,
+                       "simulated": stats.executed},
+        }
+        with open(args.json_path, "w", encoding="utf-8") as handle:
+            json.dump(payload, handle, indent=2, sort_keys=True)
+        print(f"  wrote {args.json_path}")
+    return 0
+
+
 def cmd_cache(args: argparse.Namespace) -> int:
     cache = ResultCache(args.cache_dir)
     if args.action == "clear":
         removed = cache.clear()
         print(f"removed {removed} cached results from {cache.root}")
+        return 0
+    if args.action == "gc":
+        report = cache.gc(max_bytes=args.max_bytes, max_age_days=args.max_age)
+        print(format_table(
+            ["property", "value"],
+            [
+                ["directory", str(cache.root)],
+                ["scanned", report.scanned_entries],
+                ["removed", report.removed_entries],
+                ["removed [MB]", round(report.removed_bytes / 1e6, 2)],
+                ["kept", report.kept_entries],
+                ["kept [MB]", round(report.kept_bytes / 1e6, 2)],
+            ],
+            title="Result cache gc (LRU by mtime)",
+        ))
         return 0
     stats = cache.stats()
     print(format_table(
@@ -278,6 +394,8 @@ def cmd_cache(args: argparse.Namespace) -> int:
             ["directory", str(cache.root)],
             ["entries", stats.entries],
             ["size [MB]", round(stats.size_mb, 2)],
+            ["reclaimable entries", stats.reclaimable_entries],
+            ["reclaimable [MB]", round(stats.reclaimable_bytes / 1e6, 2)],
         ],
         title="Result cache",
     ))
@@ -300,6 +418,7 @@ def main(argv: list[str]) -> int:
         "info": cmd_info,
         "sweep": cmd_sweep,
         "compare": cmd_compare,
+        "workloads": cmd_workloads,
         "cache": cmd_cache,
     }[args.command]
     try:

@@ -1,9 +1,16 @@
-"""Analysis harness: sweeps, saturation, large-N models, metric helpers."""
+"""Analysis harness: sweeps, workload campaigns, large-N models, metrics."""
 
 from .largescale import LargeScaleModel, model_curves
 from .metrics import format_table, geometric_mean, relative_improvement
 from .resilience import ResilienceReport, degrade, resilience_curve
 from .sweep import SweepPoint, SweepResult, compare_networks, sweep_loads
+from .workloads import (
+    WorkloadRow,
+    edp_gain,
+    edp_table,
+    smart_latency_gains,
+    workload_table,
+)
 
 __all__ = [
     "SweepPoint",
@@ -18,4 +25,9 @@ __all__ = [
     "ResilienceReport",
     "degrade",
     "resilience_curve",
+    "WorkloadRow",
+    "workload_table",
+    "edp_table",
+    "edp_gain",
+    "smart_latency_gains",
 ]

@@ -14,7 +14,7 @@ from __future__ import annotations
 import math
 from dataclasses import dataclass
 
-from ..topos.base import Coordinate, Topology
+from ..topos.base import Topology
 
 #: SMART link reach at 1 GHz, 45 nm (paper section 5.1 sets H=9).
 SMART_HOPS_PER_CYCLE = 9

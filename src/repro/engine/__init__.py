@@ -10,12 +10,16 @@ into an incremental, parallel pipeline:
 * :mod:`~repro.engine.runner` — :class:`ExperimentEngine`, a batch
   executor fanning cache misses across a process pool;
 * :mod:`~repro.engine.campaign` — sweep/compare grid builders with
-  staged early stop on saturation.
+  staged early stop on saturation, plus (network × benchmark) workload
+  campaigns (:func:`workload_compare`).
 
-End to end::
+Specs carry a tagged traffic union — synthetic patterns *or*
+PARSEC/SPLASH workload models — so every experiment class in the repo
+flows through the same cached, parallel orchestration.  End to end::
 
     python -m repro sweep sn200 --patterns RND,ADV2 \\
         --loads 0.02:0.5:0.04 --workers 8
+    python -m repro workloads sn200 fbf3 --benches barnes,fft --workers 8
 
 or programmatically::
 
@@ -29,16 +33,32 @@ Re-running either form performs zero new simulations: every point is
 served from the cache.
 """
 
-from .cache import SCHEMA_VERSION, CacheStats, ResultCache, default_cache_dir
-from .campaign import assemble_curve, build_sweep_specs, run_compare, run_sweep
+from .cache import (
+    SCHEMA_VERSION,
+    CacheStats,
+    GCReport,
+    ResultCache,
+    default_cache_dir,
+)
+from .campaign import (
+    assemble_curve,
+    build_sweep_specs,
+    build_workload_specs,
+    run_compare,
+    run_sweep,
+    workload_compare,
+)
 from .runner import ExperimentEngine, RunStats, default_engine
 from .spec import (
     SPEC_VERSION,
     ExperimentSpec,
+    SyntheticTraffic,
+    WorkloadTraffic,
     build_routing,
     resolve_topology,
     topology_fingerprint,
     topology_token,
+    traffic_from_dict,
 )
 
 __all__ = [
@@ -46,9 +66,13 @@ __all__ = [
     "ExperimentEngine",
     "ResultCache",
     "CacheStats",
+    "GCReport",
     "RunStats",
     "SCHEMA_VERSION",
     "SPEC_VERSION",
+    "SyntheticTraffic",
+    "WorkloadTraffic",
+    "traffic_from_dict",
     "default_engine",
     "default_cache_dir",
     "build_routing",
@@ -56,7 +80,9 @@ __all__ = [
     "topology_fingerprint",
     "topology_token",
     "build_sweep_specs",
+    "build_workload_specs",
     "assemble_curve",
     "run_sweep",
     "run_compare",
+    "workload_compare",
 ]

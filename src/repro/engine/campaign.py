@@ -1,9 +1,11 @@
-"""Sweep/compare campaign builders on top of the experiment engine.
+"""Sweep/compare/workload campaign builders on top of the experiment engine.
 
-A *campaign* expands a (network × pattern × load) grid into
+A *campaign* expands a grid — (network × pattern × load) for synthetic
+sweeps, (network × benchmark) for workload runs — into
 :class:`~repro.engine.spec.ExperimentSpec`\\ s, submits them through an
 :class:`~repro.engine.runner.ExperimentEngine`, and assembles the paper's
-latency-load curves (:class:`~repro.analysis.sweep.SweepResult`).
+latency-load curves (:class:`~repro.analysis.sweep.SweepResult`) or
+per-benchmark result tables (Figure 18 / Table 6).
 
 Early stop on saturation ("we omit performance data for points after
 network saturation") is handled as *staged batches*: loads are submitted
@@ -24,7 +26,13 @@ from typing import Mapping, Sequence
 from ..sim import SimConfig, SimResult
 from ..topos.base import Topology
 from .runner import ExperimentEngine
-from .spec import ExperimentSpec, resolve_topology, topology_token
+from .spec import (
+    ExperimentSpec,
+    SyntheticTraffic,
+    WorkloadTraffic,
+    resolve_topology,
+    topology_token,
+)
 
 
 def _resolve_entry(
@@ -58,8 +66,7 @@ def _spec_for(
 ) -> ExperimentSpec:
     return ExperimentSpec(
         topology=token,
-        pattern=pattern,
-        load=load,
+        source=SyntheticTraffic(pattern, load),
         packet_flits=packet_flits,
         config=config if config is not None else SimConfig(),
         routing=routing,
@@ -257,3 +264,108 @@ def run_compare(
         )
         for label, info in per_label.items()
     }
+
+
+def _workload_spec_for(
+    token: str,
+    bench: str,
+    *,
+    config: SimConfig | None,
+    intensity_scale: float,
+    packet_flits: int,
+    routing: str,
+    seed: int,
+    warmup: int,
+    measure: int,
+    drain: int,
+) -> ExperimentSpec:
+    # Like the sweep builders, fingerprint-keyed specs carry layout=None
+    # so cache keys don't depend on how the network was named.
+    return ExperimentSpec(
+        topology=token,
+        source=WorkloadTraffic(bench, intensity_scale),
+        packet_flits=packet_flits,
+        config=config if config is not None else SimConfig(),
+        routing=routing,
+        seed=seed,
+        warmup=warmup,
+        measure=measure,
+        drain=drain,
+        layout=None,
+    )
+
+
+def build_workload_specs(
+    topology: Topology | str,
+    benches: Sequence[str],
+    *,
+    config: SimConfig | None = None,
+    intensity_scale: float = 1.0,
+    packet_flits: int = 6,
+    routing: str = "default",
+    seed: int = 1,
+    warmup: int = 300,
+    measure: int = 800,
+    drain: int = 1500,
+    layout: str | None = None,
+) -> tuple[list[ExperimentSpec], dict[str, Topology]]:
+    """Specs for one network across several benchmark models, plus the
+    topology map the engine needs for the fingerprinted network."""
+    token, topology = _resolve_entry(topology, layout)
+    specs = [
+        _workload_spec_for(
+            token, bench, config=config, intensity_scale=intensity_scale,
+            packet_flits=packet_flits, routing=routing, seed=seed,
+            warmup=warmup, measure=measure, drain=drain,
+        )
+        for bench in benches
+    ]
+    return specs, {token: topology}
+
+
+def workload_compare(
+    engine: ExperimentEngine,
+    topologies: Mapping[str, Topology | str],
+    benches: Sequence[str],
+    *,
+    configs: Mapping[str, SimConfig] | None = None,
+    config: SimConfig | None = None,
+    intensity_scale: float = 1.0,
+    packet_flits: int = 6,
+    routing: str = "default",
+    seed: int = 1,
+    warmup: int = 300,
+    measure: int = 800,
+    drain: int = 1500,
+    layout: str | None = None,
+    progress=None,
+) -> dict[str, dict[str, SimResult]]:
+    """Run every (network × benchmark) point as one engine batch.
+
+    Returns ``{label: {bench: SimResult}}``.  Unlike load sweeps there is
+    no saturation early stop — each benchmark is a single point — so the
+    whole grid is submitted at once: a multi-worker engine fans it out,
+    and every point is individually content-addressed in the cache.
+    """
+    topo_map: dict[str, Topology] = {}
+    batch: list[tuple[str, str]] = []
+    specs: list[ExperimentSpec] = []
+    for label, topology in topologies.items():
+        token, topology = _resolve_entry(topology, layout)
+        topo_map[token] = topology
+        label_config = (configs or {}).get(label, config)
+        for bench in benches:
+            batch.append((label, bench))
+            specs.append(
+                _workload_spec_for(
+                    token, bench, config=label_config,
+                    intensity_scale=intensity_scale,
+                    packet_flits=packet_flits, routing=routing, seed=seed,
+                    warmup=warmup, measure=measure, drain=drain,
+                )
+            )
+    results = engine.run(specs, topologies=topo_map, progress=progress)
+    table: dict[str, dict[str, SimResult]] = {label: {} for label in topologies}
+    for (label, bench), outcome in zip(batch, results):
+        table[label][bench] = outcome
+    return table

@@ -3,9 +3,18 @@
 An :class:`ExperimentSpec` pins **every** input that determines a
 cycle-accurate simulation's outcome: the topology (a catalog symbol, a
 node-count request, or a structural fingerprint of an ad-hoc
-:class:`~repro.topos.base.Topology`), the traffic pattern and offered
-load, the packet size, the full :class:`~repro.sim.SimConfig`, the
-routing scheme, the RNG seed, and the warmup/measure/drain windows.
+:class:`~repro.topos.base.Topology`), the traffic source, the packet
+size, the full :class:`~repro.sim.SimConfig`, the routing scheme, the
+RNG seed, and the warmup/measure/drain windows.
+
+The traffic source is a tagged union: :class:`SyntheticTraffic` (a
+pattern acronym plus an offered load, Figures 10-14/19) or
+:class:`WorkloadTraffic` (a PARSEC/SPLASH benchmark model, Figure 18 /
+Table 6).  Workload specs hash the *full* parameter set of the
+benchmark's :class:`~repro.traffic.workloads.WorkloadSpec` — retuning a
+benchmark in :data:`~repro.traffic.workloads.WORKLOADS` invalidates its
+cache entries, exactly like editing a synthetic pattern's code would
+require a :data:`SPEC_VERSION` bump.
 
 Because the simulator is deterministic given these inputs, the spec's
 :meth:`~ExperimentSpec.content_hash` is a *content address* for its
@@ -24,6 +33,7 @@ from __future__ import annotations
 import hashlib
 import json
 from dataclasses import asdict, dataclass, field
+from typing import ClassVar, Union
 
 from ..routing import (
     DimensionOrderRouting,
@@ -35,13 +45,17 @@ from ..routing import (
 )
 from ..sim import NoCSimulator, SimConfig, SimResult
 from ..topos.base import Topology
-from ..traffic import SyntheticSource
+from ..traffic import WORKLOADS, SyntheticSource, WorkloadSource
 
 #: Bump when the *meaning* of a spec changes (e.g. a simulator fix that
 #: alters results for identical inputs) so stale cache entries miss.
 #: Version 2: ``SimConfig`` grew the ``fast_forward`` knob (results are
 #: unchanged, but the serialized config — and thus every hash — moved).
-SPEC_VERSION = 2
+#: Version 3: the traffic source became a tagged union (``source``
+#: replaces the top-level ``pattern``/``load`` fields) so trace-driven
+#: ``WorkloadSource`` experiments flow through the engine; synthetic
+#: results are unchanged, but every serialized spec — and hash — moved.
+SPEC_VERSION = 3
 
 #: Topology tokens carrying a structural fingerprint instead of a catalog
 #: symbol.  Fingerprinted topologies cannot be rebuilt from the token
@@ -122,15 +136,100 @@ def resolve_topology(token: str, layout: str | None = None) -> Topology:
 
 
 @dataclass(frozen=True)
+class SyntheticTraffic:
+    """Synthetic-pattern traffic: a pattern acronym at one offered load."""
+
+    kind: ClassVar[str] = "synthetic"
+
+    pattern: str
+    load: float
+
+    @property
+    def label(self) -> str:
+        return f"{self.pattern} load={self.load:g}"
+
+    def to_dict(self) -> dict:
+        return {"kind": self.kind, "pattern": self.pattern, "load": self.load}
+
+    def build(self, topology: Topology, packet_flits: int, seed: int):
+        return SyntheticSource(
+            topology, self.pattern, self.load, packet_flits, seed=seed
+        )
+
+
+@dataclass(frozen=True)
+class WorkloadTraffic:
+    """Trace-substitute traffic: one PARSEC/SPLASH benchmark model.
+
+    ``intensity_scale`` multiplies the benchmark's injection intensity
+    (load-scaling knob for sensitivity studies); message mix, sizes, and
+    causality stay the benchmark's own.
+    """
+
+    kind: ClassVar[str] = "workload"
+
+    bench: str
+    intensity_scale: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.bench not in WORKLOADS:
+            raise ValueError(
+                f"unknown benchmark {self.bench!r}; options: {sorted(WORKLOADS)}"
+            )
+
+    @property
+    def label(self) -> str:
+        if self.intensity_scale == 1.0:
+            return self.bench
+        return f"{self.bench} x{self.intensity_scale:g}"
+
+    def to_dict(self) -> dict:
+        # The benchmark's full parameter set rides along so the content
+        # hash covers it: retuning a WorkloadSpec in WORKLOADS moves every
+        # affected cache key instead of silently serving stale results.
+        return {
+            "kind": self.kind,
+            "bench": self.bench,
+            "intensity_scale": self.intensity_scale,
+            "params": asdict(WORKLOADS[self.bench]),
+        }
+
+    def build(self, topology: Topology, packet_flits: int, seed: int):
+        return WorkloadSource(
+            topology, self.bench, seed=seed, intensity_scale=self.intensity_scale
+        )
+
+
+TrafficSpec = Union[SyntheticTraffic, WorkloadTraffic]
+
+
+def traffic_from_dict(payload: dict) -> TrafficSpec:
+    """Rebuild a traffic source from its tagged-union dict form."""
+    kind = payload.get("kind")
+    if kind == SyntheticTraffic.kind:
+        return SyntheticTraffic(pattern=payload["pattern"], load=payload["load"])
+    if kind == WorkloadTraffic.kind:
+        # ``params`` is derived from WORKLOADS at serialization time, never
+        # read back — the local table is the single source of truth.
+        return WorkloadTraffic(
+            bench=payload["bench"],
+            intensity_scale=payload.get("intensity_scale", 1.0),
+        )
+    raise ValueError(f"unknown traffic source kind {kind!r}")
+
+
+@dataclass(frozen=True)
 class ExperimentSpec:
     """One simulation point, fully pinned and hashable.
 
     Attributes:
         topology: Catalog symbol (``"sn200"``), decimal node count
             (``"800"``), or ``"fp:<hash>"`` fingerprint token.
-        pattern: Synthetic pattern acronym (``RND``, ``ADV2``, …).
-        load: Offered load in flits/node/cycle.
-        packet_flits: Packet size in flits.
+        source: Traffic source — :class:`SyntheticTraffic` or
+            :class:`WorkloadTraffic` (see the :meth:`synthetic` /
+            :meth:`workload` constructors).
+        packet_flits: Packet size in flits (synthetic traffic; workload
+            models carry their own per-message sizes).
         config: Full simulator configuration.
         routing: Routing scheme name from :data:`ROUTING_BUILDERS`.
         seed: Simulator RNG seed (injection + randomized destinations).
@@ -139,8 +238,7 @@ class ExperimentSpec:
     """
 
     topology: str
-    pattern: str
-    load: float
+    source: TrafficSpec
     packet_flits: int = 6
     config: SimConfig = field(default_factory=SimConfig)
     routing: str = "default"
@@ -150,17 +248,50 @@ class ExperimentSpec:
     drain: int = 1500
     layout: str | None = None
 
+    @classmethod
+    def synthetic(
+        cls, topology: str, pattern: str, load: float, **kw
+    ) -> "ExperimentSpec":
+        """Convenience constructor for a synthetic-pattern point."""
+        return cls(topology=topology, source=SyntheticTraffic(pattern, load), **kw)
+
+    @classmethod
+    def workload(
+        cls, topology: str, bench: str, intensity_scale: float = 1.0, **kw
+    ) -> "ExperimentSpec":
+        """Convenience constructor for a benchmark-model point."""
+        return cls(
+            topology=topology,
+            source=WorkloadTraffic(bench, intensity_scale),
+            **kw,
+        )
+
     def to_dict(self) -> dict:
-        payload = asdict(self)
-        payload["config"] = asdict(self.config)
-        payload["spec_version"] = SPEC_VERSION
-        return payload
+        return {
+            "topology": self.topology,
+            "source": self.source.to_dict(),
+            "packet_flits": self.packet_flits,
+            "config": asdict(self.config),
+            "routing": self.routing,
+            "seed": self.seed,
+            "warmup": self.warmup,
+            "measure": self.measure,
+            "drain": self.drain,
+            "layout": self.layout,
+            "spec_version": SPEC_VERSION,
+        }
 
     @classmethod
     def from_dict(cls, payload: dict) -> "ExperimentSpec":
         payload = dict(payload)
         payload.pop("spec_version", None)
         payload["config"] = SimConfig(**payload["config"])
+        if "source" in payload:
+            payload["source"] = traffic_from_dict(payload["source"])
+        else:  # pre-version-3 payload with top-level pattern/load
+            payload["source"] = SyntheticTraffic(
+                pattern=payload.pop("pattern"), load=payload.pop("load")
+            )
         return cls(**payload)
 
     def content_hash(self) -> str:
@@ -187,9 +318,7 @@ class ExperimentSpec:
         )
         routing = build_routing(self.routing, topo)
         sim = NoCSimulator(topo, self.config, routing=routing, seed=self.seed)
-        source = SyntheticSource(
-            topo, self.pattern, self.load, self.packet_flits, seed=self.seed
-        )
+        source = self.source.build(topo, self.packet_flits, self.seed)
         return sim.run(
             source, warmup=self.warmup, measure=self.measure, drain=self.drain
         )

@@ -44,7 +44,7 @@ from __future__ import annotations
 
 import random
 from collections import deque
-from dataclasses import dataclass, field, replace
+from dataclasses import dataclass, replace
 from functools import cached_property
 
 from ..routing import QueueOracle, RoutingAlgorithm, default_routing

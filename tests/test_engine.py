@@ -24,7 +24,9 @@ FAST = dict(warmup=100, measure=200, drain=300)
 def fast_spec(load=0.05, **overrides) -> ExperimentSpec:
     kw = dict(topology="sn54", pattern="RND", load=load, **FAST)
     kw.update(overrides)
-    return ExperimentSpec(**kw)
+    return ExperimentSpec.synthetic(
+        kw.pop("topology"), kw.pop("pattern"), kw.pop("load"), **kw
+    )
 
 
 class TestExperimentSpec:
