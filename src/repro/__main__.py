@@ -17,14 +17,31 @@ content-addressed on-disk result cache):
 * ``cache``   — result-store maintenance: ``cache stats`` (size plus
   reclaimable bytes from superseded schema/spec versions) / ``cache
   clear`` / ``cache gc [--max-bytes N] [--max-age DAYS]`` (LRU eviction
-  by file mtime; unreachable entries always go first).
+  by last use; unreachable entries always go first) / ``cache export
+  PACK`` / ``cache merge STORE...`` (move entries between stores by
+  content key).
 * ``perf``    — simulator-core timing harness: ``python -m repro perf
   [--quick] [--check]`` reports simulated cycles/sec against the
   committed ``benchmarks/BENCH_sim_core.json`` baseline and the pre-
   optimization reference (see :mod:`repro.perf`).
 
 Repeating a ``sweep``/``compare`` with identical parameters performs
-zero new simulations — every point is served from the cache.
+zero new simulations — every point is served from the cache.  Stores
+are pluggable: a ``--cache-dir`` ending in ``.sqlite``/``.db``/``.pack``
+(or ``REPRO_CACHE_BACKEND=sqlite``) packs the whole store into one
+WAL-mode SQLite file instead of a JSON directory tree.
+
+Campaigns too large for one machine split with ``--shard INDEX/COUNT``
+(disjoint, covering, stable under reordering) and rendezvous by merge::
+
+    host-a$ python -m repro sweep sn200 --loads 0.02:0.5:0.02 \\
+                --shard 0/2 --cache-dir shard-a.sqlite --workers 8
+    host-b$ python -m repro sweep sn200 --loads 0.02:0.5:0.02 \\
+                --shard 1/2 --cache-dir shard-b.sqlite --workers 8
+    # ship shard-b.sqlite to host-a, then:
+    host-a$ python -m repro cache merge shard-a.sqlite shard-b.sqlite
+    host-a$ python -m repro sweep sn200 --loads 0.02:0.5:0.02
+    # ^ assembles the full curves as a pure cache read (0 simulations)
 """
 
 from __future__ import annotations
@@ -61,6 +78,20 @@ def parse_loads(text: str) -> list[float]:
     if not loads:
         raise argparse.ArgumentTypeError("need at least one load")
     return loads
+
+
+def parse_shard(text: str) -> tuple[int, int]:
+    """``"0/2"`` → ``(index, count)``, validated."""
+    try:
+        index_text, count_text = text.split("/")
+        index, count = int(index_text), int(count_text)
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            "shard must be INDEX/COUNT, e.g. 0/2"
+        ) from None
+    if count < 1 or not 0 <= index < count:
+        raise argparse.ArgumentTypeError("need count >= 1 and 0 <= index < count")
+    return index, count
 
 
 def _build_config(args: argparse.Namespace) -> SimConfig:
@@ -101,7 +132,17 @@ def _add_engine_options(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--no-cache", action="store_true",
                         help="disable the on-disk result cache")
     parser.add_argument("--cache-dir", default=None,
-                        help="result cache directory (default .repro_cache)")
+                        help="result store: a cache directory (default "
+                             ".repro_cache), a .sqlite/.db/.pack file, or "
+                             "a sqlite:/dir: URL")
+    parser.add_argument("--shard", type=parse_shard, default=None,
+                        metavar="INDEX/COUNT",
+                        help="run only this shard of the campaign grid "
+                             "(e.g. 0/2; partitioned by spec content hash "
+                             "— disjoint, covering, order-independent); "
+                             "merge the shard stores with 'cache merge', "
+                             "then rerun unsharded to assemble results "
+                             "from cache")
     parser.add_argument("--quiet", action="store_true",
                         help="suppress per-point progress on stderr")
 
@@ -140,6 +181,8 @@ def build_parser() -> argparse.ArgumentParser:
     sweep.add_argument("network", help="catalog symbol or node count")
     sweep.add_argument("--patterns", default="RND",
                        help="comma list of pattern acronyms (default RND)")
+    sweep.add_argument("--json", dest="json_path", default=None,
+                       help="also write curves + engine stats as JSON")
     _add_sim_options(sweep)
     _add_engine_options(sweep)
 
@@ -177,8 +220,22 @@ def build_parser() -> argparse.ArgumentParser:
     workloads.add_argument("--drain", type=int, default=1200)
     _add_engine_options(workloads)
 
-    cache = sub.add_parser("cache", help="result-store maintenance")
-    cache.add_argument("action", choices=("stats", "clear", "gc"))
+    cache = sub.add_parser(
+        "cache",
+        help="result-store maintenance",
+        description="Result-store maintenance.  A two-host campaign "
+                    "rendezvous looks like: run each shard with "
+                    "--shard I/N --cache-dir shard-I.sqlite, ship the "
+                    "packs to one host, 'cache merge shard-0.sqlite "
+                    "shard-1.sqlite', then rerun unsharded — a pure "
+                    "cache read.",
+    )
+    cache.add_argument("action", choices=("stats", "clear", "gc", "export",
+                                          "merge"))
+    cache.add_argument("stores", nargs="*", metavar="STORE",
+                       help="export: one destination store; merge: source "
+                            "stores to copy in (directories, .sqlite/.db/"
+                            ".pack files, or sqlite:/dir: URLs)")
     cache.add_argument("--cache-dir", default=None)
     cache.add_argument("--max-bytes", type=int, default=None,
                        help="gc: evict LRU entries until the store fits")
@@ -225,6 +282,7 @@ def cmd_info(args: argparse.Namespace) -> int:
 def cmd_sweep(args: argparse.Namespace) -> int:
     config = _build_config(args)
     progress = None if args.quiet else _progress
+    curves = {}
     with _build_engine(args) as engine:
         for pattern in [p for p in args.patterns.split(",") if p]:
             before = engine.total_stats.snapshot()
@@ -232,23 +290,44 @@ def cmd_sweep(args: argparse.Namespace) -> int:
                 engine, args.network, pattern, args.loads,
                 config=config, packet_flits=args.packet_flits, seed=args.seed,
                 warmup=args.warmup, measure=args.measure, drain=args.drain,
-                stop_after_saturation=not args.no_stop, progress=progress,
+                stop_after_saturation=not args.no_stop, shard=args.shard,
+                progress=progress,
             )
+            curves[pattern] = curve
             stats = engine.total_stats.since(before)
+            if args.shard is not None:
+                title = (f"{args.network} / {pattern} "
+                         f"[shard {args.shard[0]}/{args.shard[1]}: "
+                         f"{len(curve.points)} of {len(args.loads)} points]")
+            else:
+                title = (f"{args.network} / {pattern} (sat throughput "
+                         f"{curve.saturation_throughput():.4f})")
             print(format_table(
                 ["load", "latency [cyc]", "throughput"],
                 _curve_rows(curve),
-                title=f"{args.network} / {pattern} "
-                      f"(sat throughput {curve.saturation_throughput():.4f})",
+                title=title,
             ))
             print(f"  engine: {stats.cache_hits} cached, "
                   f"{stats.executed} simulated, {stats.workers} workers\n")
+        total = engine.total_stats
+    if args.json_path:
+        payload = {
+            "network": args.network,
+            "shard": None if args.shard is None else list(args.shard),
+            "curves": {p: c.to_dict() for p, c in curves.items()},
+            "engine": total.to_dict(),
+        }
+        with open(args.json_path, "w", encoding="utf-8") as handle:
+            json.dump(payload, handle, indent=2, sort_keys=True)
+        print(f"  wrote {args.json_path}")
     return 0
 
 
 def cmd_compare(args: argparse.Namespace) -> int:
     config = _build_config(args)
     progress = None if args.quiet else _progress
+    if args.model and args.shard is not None:
+        raise ValueError("--shard applies to simulation campaigns, not --model")
     with _build_engine(args) as engine:
         if args.model:
             from dataclasses import replace
@@ -269,24 +348,32 @@ def cmd_compare(args: argparse.Namespace) -> int:
                 args.pattern, args.loads,
                 config=config, packet_flits=args.packet_flits, seed=args.seed,
                 warmup=args.warmup, measure=args.measure, drain=args.drain,
-                stop_after_saturation=not args.no_stop, progress=progress,
+                stop_after_saturation=not args.no_stop, shard=args.shard,
+                progress=progress,
             )
         stats = engine.total_stats
-    rows = []
-    for label in args.networks:
-        curve = curves[label]
-        rows.append([
-            label,
-            round(curve.zero_load_latency(), 2),
-            f"{curve.saturation_throughput():.4f}",
-            len(curve.points),
-        ])
-    print(format_table(
-        ["network", "zero-load latency", "sat throughput", "points"],
-        rows,
-        title=f"Pattern {args.pattern} over "
-              f"{min(args.loads):g}..{max(args.loads):g}",
-    ))
+    if args.shard is None:
+        rows = []
+        for label in args.networks:
+            curve = curves[label]
+            rows.append([
+                label,
+                round(curve.zero_load_latency(), 2),
+                f"{curve.saturation_throughput():.4f}",
+                len(curve.points),
+            ])
+        print(format_table(
+            ["network", "zero-load latency", "sat throughput", "points"],
+            rows,
+            title=f"Pattern {args.pattern} over "
+                  f"{min(args.loads):g}..{max(args.loads):g}",
+        ))
+    else:
+        computed = sum(len(curves[label].points) for label in args.networks)
+        grid = len(args.networks) * len(args.loads)
+        print(f"shard {args.shard[0]}/{args.shard[1]}: computed {computed} "
+              f"of {grid} grid points (merge stores, then rerun unsharded "
+              "to assemble curves)")
     print(f"  engine: {stats.cache_hits} cached, {stats.executed} simulated, "
           f"{stats.workers} workers\n")
     for label in args.networks:
@@ -311,6 +398,8 @@ def cmd_workloads(args: argparse.Namespace) -> int:
     if baseline not in args.networks:
         raise ValueError(f"baseline {baseline!r} is not among the networks")
     progress = None if args.quiet else _progress
+    if args.shard is not None:
+        return _workloads_shard(args, benches, progress)
     with _build_engine(args) as engine:
         table = workload_table(
             args.networks, benches,
@@ -366,8 +455,50 @@ def cmd_workloads(args: argparse.Namespace) -> int:
     return 0
 
 
+def _workloads_shard(args: argparse.Namespace, benches, progress) -> int:
+    """Cache-population pass for one shard of a workload campaign.
+
+    The power/EDP join needs the full (network × benchmark) table, so a
+    shard run only simulates its slice of the grid; merge the shard
+    stores and rerun unsharded for the joined report.
+    """
+    from .engine import workload_compare
+
+    config = SimConfig().with_smart(not args.no_smart)
+    with _build_engine(args) as engine:
+        table = workload_compare(
+            engine, {symbol: symbol for symbol in args.networks}, benches,
+            config=config, intensity_scale=args.intensity_scale,
+            seed=args.seed, warmup=args.warmup, measure=args.measure,
+            drain=args.drain, shard=args.shard, progress=progress,
+        )
+        stats = engine.total_stats
+    computed = sum(len(cells) for cells in table.values())
+    grid = len(args.networks) * len(benches)
+    print(f"shard {args.shard[0]}/{args.shard[1]}: computed {computed} of "
+          f"{grid} grid points (merge stores, then rerun unsharded for the "
+          "power/EDP join)")
+    print(f"  engine: {stats.cache_hits} cached, {stats.executed} simulated, "
+          f"{stats.workers} workers")
+    if args.json_path:
+        payload = {
+            "shard": list(args.shard),
+            "computed": computed,
+            "grid": grid,
+            "engine": stats.to_dict(),
+        }
+        with open(args.json_path, "w", encoding="utf-8") as handle:
+            json.dump(payload, handle, indent=2, sort_keys=True)
+        print(f"  wrote {args.json_path}")
+    return 0
+
+
 def cmd_cache(args: argparse.Namespace) -> int:
     cache = ResultCache(args.cache_dir)
+    if args.action in ("export", "merge"):
+        return _cache_transfer(cache, args)
+    if args.stores:
+        raise ValueError(f"cache {args.action} takes no STORE arguments")
     if args.action == "clear":
         removed = cache.clear()
         print(f"removed {removed} cached results from {cache.root}")
@@ -377,7 +508,7 @@ def cmd_cache(args: argparse.Namespace) -> int:
         print(format_table(
             ["property", "value"],
             [
-                ["directory", str(cache.root)],
+                ["store", str(cache.root)],
                 ["scanned", report.scanned_entries],
                 ["removed", report.removed_entries],
                 ["removed [MB]", round(report.removed_bytes / 1e6, 2)],
@@ -391,7 +522,8 @@ def cmd_cache(args: argparse.Namespace) -> int:
     print(format_table(
         ["property", "value"],
         [
-            ["directory", str(cache.root)],
+            ["store", str(cache.root)],
+            ["backend", type(cache.backend).__name__],
             ["entries", stats.entries],
             ["size [MB]", round(stats.size_mb, 2)],
             ["reclaimable entries", stats.reclaimable_entries],
@@ -399,6 +531,37 @@ def cmd_cache(args: argparse.Namespace) -> int:
         ],
         title="Result cache",
     ))
+    return 0
+
+
+def _cache_transfer(cache: ResultCache, args: argparse.Namespace) -> int:
+    """``cache export PACK`` / ``cache merge STORE...``: move entries
+    between stores by content key (skip-if-present, conflicts counted)."""
+    from .engine import merge_stores, open_backend
+
+    if args.action == "export":
+        if len(args.stores) != 1:
+            raise ValueError("cache export takes exactly one destination store")
+        destination = open_backend(args.stores[0])
+        report = merge_stores(destination, cache.backend)
+        print(f"exported {cache.root} -> {destination.location}: "
+              f"{report.copied} copied "
+              f"({round(report.copied_bytes / 1e6, 2)} MB), "
+              f"{report.skipped} already present, "
+              f"{report.conflicts} conflicts kept theirs")
+        destination.close()
+        return 0
+    if not args.stores:
+        raise ValueError("cache merge needs at least one source store")
+    for source_location in args.stores:
+        source = open_backend(source_location)
+        report = merge_stores(cache.backend, source)
+        print(f"merged {source.location} -> {cache.root}: "
+              f"{report.copied} copied "
+              f"({round(report.copied_bytes / 1e6, 2)} MB), "
+              f"{report.skipped} already present, "
+              f"{report.conflicts} conflicts kept ours")
+        source.close()
     return 0
 
 

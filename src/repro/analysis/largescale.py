@@ -20,7 +20,7 @@ cycle-accurate simulator at small N (tested in tests/test_analysis.py).
 Building the model at N = 1296 routes the full flow matrix over the
 minimal-path tables — seconds of work that every figure repeats — so
 :meth:`LargeScaleModel.build` memoizes its derived scalars in the
-experiment engine's content-addressed cache (:mod:`repro.engine.cache`),
+experiment engine's content-addressed cache (:mod:`repro.engine.store`),
 keyed by the topology fingerprint, pattern, packet size, sample budget,
 and seed.
 """

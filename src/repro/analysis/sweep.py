@@ -115,13 +115,21 @@ def sweep_loads(
     stop_after_saturation: bool = True,
     name: str | None = None,
     engine=None,
+    shard: tuple[int, int] | None = None,
 ) -> SweepResult:
     """Run the simulator across ``loads`` (flits/node/cycle), low to high.
 
     ``topology`` may be a live :class:`Topology` or a catalog symbol;
     ``engine`` overrides the default (env-configured) experiment engine.
+    ``shard=(index, count)`` computes only this invocation's slice of a
+    distributed campaign (see :func:`repro.engine.run_compare`).
     """
     if routing is not None:
+        if shard is not None:
+            raise ValueError(
+                "sharding needs engine-cacheable specs; live routing "
+                "objects run the legacy serial loop"
+            )
         return _sweep_serial(
             topology, pattern, loads, config=config, routing=routing,
             packet_flits=packet_flits, warmup=warmup, measure=measure,
@@ -143,6 +151,7 @@ def sweep_loads(
         drain=drain,
         stop_after_saturation=stop_after_saturation,
         name=name,
+        shard=shard,
     )
 
 

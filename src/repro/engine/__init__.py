@@ -5,13 +5,20 @@ into an incremental, parallel pipeline:
 
 * :mod:`~repro.engine.spec` — :class:`ExperimentSpec`, a frozen, hashable
   description of one simulation point with a stable content hash;
-* :mod:`~repro.engine.cache` — :class:`ResultCache`, an on-disk JSON
-  store keyed by spec hash (schema-versioned, byte-deterministic);
+* :mod:`~repro.engine.store` — pluggable result stores behind the
+  :class:`CacheBackend` protocol: :class:`LocalDirStore` (sharded JSON
+  directory, the classic ``.repro_cache/`` layout) and
+  :class:`SqlitePackStore` (single WAL-mode file for 10k+ entry
+  campaigns), fronted by :class:`ResultCache` (codec, hit counters,
+  batched lookups, ``REPRO_CACHE_MAX_BYTES`` auto-GC) and mergeable by
+  content key via :func:`merge_stores`;
 * :mod:`~repro.engine.runner` — :class:`ExperimentEngine`, a batch
   executor fanning cache misses across a process pool;
 * :mod:`~repro.engine.campaign` — sweep/compare grid builders with
-  staged early stop on saturation, plus (network × benchmark) workload
-  campaigns (:func:`workload_compare`).
+  staged early stop on saturation, (network × benchmark) workload
+  campaigns (:func:`workload_compare`), and deterministic shard
+  partitioning (:func:`shard_specs`) for splitting one campaign across
+  hosts.
 
 Specs carry a tagged traffic union — synthetic patterns *or*
 PARSEC/SPLASH workload models — so every experiment class in the repo
@@ -21,31 +28,24 @@ flows through the same cached, parallel orchestration.  End to end::
         --loads 0.02:0.5:0.04 --workers 8
     python -m repro workloads sn200 fbf3 --benches barnes,fft --workers 8
 
-or programmatically::
+or, split across two hosts and merged back together::
 
-    from repro.engine import ExperimentEngine, ResultCache, run_compare
-
-    engine = ExperimentEngine(cache=ResultCache("results/"), max_workers=8)
-    curves = run_compare(engine, {"sn200": "sn200", "fbf4": "fbf4"},
-                         "RND", [0.02, 0.1, 0.2, 0.3])
+    host-a$ python -m repro sweep sn200 --shard 0/2 --cache-dir a.sqlite
+    host-b$ python -m repro sweep sn200 --shard 1/2 --cache-dir b.sqlite
+    host-a$ python -m repro cache merge a.sqlite b.sqlite
+    host-a$ python -m repro sweep sn200   # pure cache read, 0 simulations
 
 Re-running either form performs zero new simulations: every point is
 served from the cache.
 """
 
-from .cache import (
-    SCHEMA_VERSION,
-    CacheStats,
-    GCReport,
-    ResultCache,
-    default_cache_dir,
-)
 from .campaign import (
     assemble_curve,
     build_sweep_specs,
     build_workload_specs,
     run_compare,
     run_sweep,
+    shard_specs,
     workload_compare,
 )
 from .runner import ExperimentEngine, RunStats, default_engine
@@ -55,18 +55,37 @@ from .spec import (
     SyntheticTraffic,
     WorkloadTraffic,
     build_routing,
+    iter_spec_keys,
     resolve_topology,
+    shard_for_key,
     topology_fingerprint,
     topology_token,
     traffic_from_dict,
+)
+from .store import (
+    SCHEMA_VERSION,
+    CacheBackend,
+    CacheStats,
+    GCReport,
+    LocalDirStore,
+    MergeReport,
+    ResultCache,
+    SqlitePackStore,
+    default_cache_dir,
+    merge_stores,
+    open_backend,
 )
 
 __all__ = [
     "ExperimentSpec",
     "ExperimentEngine",
+    "CacheBackend",
+    "LocalDirStore",
+    "SqlitePackStore",
     "ResultCache",
     "CacheStats",
     "GCReport",
+    "MergeReport",
     "RunStats",
     "SCHEMA_VERSION",
     "SPEC_VERSION",
@@ -75,10 +94,15 @@ __all__ = [
     "traffic_from_dict",
     "default_engine",
     "default_cache_dir",
+    "open_backend",
+    "merge_stores",
     "build_routing",
     "resolve_topology",
     "topology_fingerprint",
     "topology_token",
+    "iter_spec_keys",
+    "shard_for_key",
+    "shard_specs",
     "build_sweep_specs",
     "build_workload_specs",
     "assemble_curve",

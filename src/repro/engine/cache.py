@@ -1,292 +1,31 @@
-"""On-disk content-addressed result store.
+"""Backward-compatible alias for :mod:`repro.engine.store`.
 
-Each entry is one JSON file named by the spec's content hash (sharded by
-the first two hex digits), containing a schema tag, the spec that
-produced it, and the serialized result::
+The on-disk result cache grew into a package of pluggable backends
+(sharded JSON directory, single-file SQLite pack) behind a
+:class:`~repro.engine.store.base.CacheBackend` protocol; this module
+keeps the historical import path working::
 
-    <root>/ab/abcdef….json
-    {"schema": 1, "kind": "sim", "spec": {...}, "result": {...}}
+    from repro.engine.cache import ResultCache, SCHEMA_VERSION
 
-Entries are written atomically (temp file + rename) with a canonical,
-deterministic JSON encoding, so the same spec always produces
-byte-identical files — re-running a figure is a pure cache read.  A
-schema-tag mismatch (older/newer writer) is treated as a miss and the
-entry is recomputed and overwritten.
-
-Besides full simulation results the store also holds arbitrary keyed
-JSON payloads (:meth:`ResultCache.get_payload`), used by the large-scale
-analytical model to memoize its expensive channel-load computation.
-
-The store never grows without bound: :meth:`ResultCache.gc` evicts
-least-recently-used entries (every cache hit touches its file's mtime,
-so mtime order *is* use order) down to a byte budget and/or age limit,
-and always drops *unreachable* entries first — files written by an older
-cache schema or an older :data:`~repro.engine.spec.SPEC_VERSION`, whose
-keys no current spec can ever produce.  :meth:`ResultCache.stats`
-reports those unreachable bytes as ``reclaimable``.
+See :mod:`repro.engine.store` for the real implementation.
 """
 
-from __future__ import annotations
+from .store import (
+    CACHE_DIR_ENV,
+    DEFAULT_CACHE_DIR,
+    SCHEMA_VERSION,
+    CacheStats,
+    GCReport,
+    ResultCache,
+    default_cache_dir,
+)
 
-import json
-import os
-import tempfile
-import time
-from dataclasses import dataclass
-from pathlib import Path
-
-from ..sim import SimResult
-from .spec import SPEC_VERSION, ExperimentSpec
-
-#: Bump when the on-disk layout of cache entries changes; mismatched
-#: entries are ignored (recomputed and overwritten), never misread.
-SCHEMA_VERSION = 1
-
-#: Default cache location, overridable via the environment.
-CACHE_DIR_ENV = "REPRO_CACHE_DIR"
-DEFAULT_CACHE_DIR = ".repro_cache"
-
-
-def default_cache_dir() -> Path:
-    return Path(os.environ.get(CACHE_DIR_ENV) or DEFAULT_CACHE_DIR)
-
-
-@dataclass(frozen=True)
-class CacheStats:
-    """Snapshot of a cache directory plus this process's hit counters.
-
-    ``reclaimable_entries``/``reclaimable_bytes`` count *unreachable*
-    files: entries written under an older cache schema or an older spec
-    version, which no current lookup key can ever hit.  ``cache gc``
-    removes them unconditionally.
-    """
-
-    entries: int
-    size_bytes: int
-    hits: int
-    misses: int
-    reclaimable_entries: int = 0
-    reclaimable_bytes: int = 0
-
-    @property
-    def size_mb(self) -> float:
-        return self.size_bytes / 1e6
-
-
-@dataclass(frozen=True)
-class GCReport:
-    """Outcome of one :meth:`ResultCache.gc` pass."""
-
-    scanned_entries: int
-    removed_entries: int
-    removed_bytes: int
-    kept_entries: int
-    kept_bytes: int
-
-
-class ResultCache:
-    """Content-addressed JSON store for simulation results.
-
-    Thread/process safe for readers; writes are atomic renames, so
-    concurrent writers of the *same* key simply race to produce identical
-    bytes.
-    """
-
-    def __init__(self, root: Path | str | None = None):
-        self.root = Path(root) if root is not None else default_cache_dir()
-        self.hits = 0
-        self.misses = 0
-
-    # -- raw keyed payloads -------------------------------------------------
-
-    def _path(self, key: str) -> Path:
-        return self.root / key[:2] / f"{key}.json"
-
-    def get_payload(self, key: str, kind: str) -> dict | None:
-        """Payload stored under ``key`` if present, readable, and current."""
-        path = self._path(key)
-        try:
-            text = path.read_text(encoding="utf-8")
-            entry = json.loads(text)
-        except (OSError, ValueError):
-            self.misses += 1
-            return None
-        result = entry.get("result")
-        if (
-            entry.get("schema") != SCHEMA_VERSION
-            or entry.get("kind") != kind
-            or result is None
-        ):
-            self.misses += 1
-            return None
-        self.hits += 1
-        try:
-            # Touch on read: mtime order is the LRU order gc() evicts in.
-            os.utime(path)
-        except OSError:
-            pass
-        return result
-
-    def put_payload(
-        self, key: str, kind: str, result: dict, spec: dict | None = None
-    ) -> Path:
-        """Atomically write ``result`` under ``key``; returns the file path."""
-        entry = {"schema": SCHEMA_VERSION, "kind": kind, "result": result}
-        if spec is not None:
-            entry["spec"] = spec
-        path = self._path(key)
-        path.parent.mkdir(parents=True, exist_ok=True)
-        blob = json.dumps(entry, sort_keys=True, separators=(",", ":"))
-        fd, tmp = tempfile.mkstemp(dir=path.parent, suffix=".tmp")
-        try:
-            with os.fdopen(fd, "w", encoding="utf-8") as handle:
-                handle.write(blob)
-            os.replace(tmp, path)
-        except BaseException:
-            try:
-                os.unlink(tmp)
-            except OSError:
-                pass
-            raise
-        return path
-
-    # -- simulation results -------------------------------------------------
-
-    def get(self, spec: ExperimentSpec) -> SimResult | None:
-        """Cached result for ``spec``, or ``None`` (miss / schema change)."""
-        payload = self.get_payload(spec.content_hash(), kind="sim")
-        if payload is None:
-            return None
-        return SimResult.from_dict(payload)
-
-    def put(self, spec: ExperimentSpec, result: SimResult) -> Path:
-        return self.put_payload(
-            spec.content_hash(), kind="sim", result=result.to_dict(),
-            spec=spec.to_dict(),
-        )
-
-    def path_for(self, spec: ExperimentSpec) -> Path:
-        """Where ``spec``'s result lives (whether or not it exists yet)."""
-        return self._path(spec.content_hash())
-
-    # -- maintenance ---------------------------------------------------------
-
-    def _entry_files(self) -> list[Path]:
-        if not self.root.is_dir():
-            return []
-        return sorted(self.root.glob("*/*.json"))
-
-    @staticmethod
-    def _is_unreachable(path: Path) -> bool:
-        """True when no current lookup key can ever hit this entry.
-
-        Entries are written by :meth:`put_payload` with a canonical
-        encoding (sorted keys, ``(",", ":")`` separators), so the version
-        markers appear as exact byte sequences — membership tests on the
-        raw text replace a full JSON parse of every result payload.
-        Anything not written by that encoder fails the check and counts
-        as unreachable, which matches :meth:`get_payload` treating it as
-        a permanent miss.
-        """
-        try:
-            text = path.read_text(encoding="utf-8")
-        except OSError:
-            return True
-
-        def has(marker: str) -> bool:  # value followed by , or } (not "1" in "12")
-            return marker + "," in text or marker + "}" in text
-
-        if not has(f'"schema":{SCHEMA_VERSION}'):
-            return True
-        if '"spec":{' in text and not has(f'"spec_version":{SPEC_VERSION}'):
-            return True
-        return False
-
-    def stats(self) -> CacheStats:
-        files = self._entry_files()
-        size = 0
-        reclaimable_entries = 0
-        reclaimable_bytes = 0
-        for path in files:
-            try:
-                nbytes = path.stat().st_size
-            except OSError:
-                continue
-            size += nbytes
-            if self._is_unreachable(path):
-                reclaimable_entries += 1
-                reclaimable_bytes += nbytes
-        return CacheStats(
-            entries=len(files), size_bytes=size, hits=self.hits,
-            misses=self.misses, reclaimable_entries=reclaimable_entries,
-            reclaimable_bytes=reclaimable_bytes,
-        )
-
-    def gc(
-        self,
-        max_bytes: int | None = None,
-        max_age_days: float | None = None,
-        now: float | None = None,
-    ) -> GCReport:
-        """Evict entries, least-recently-used first; returns what happened.
-
-        Unreachable entries (older schema or spec version) always go.
-        Then entries untouched for more than ``max_age_days`` go, and
-        finally the oldest-mtime survivors are dropped until the cache
-        fits in ``max_bytes``.  ``gc()`` with no limits removes only the
-        unreachable garbage.
-        """
-        now = time.time() if now is None else now
-        survivors: list[tuple[float, int, Path]] = []  # (mtime, size, path)
-        removed: list[tuple[int, Path]] = []
-        files = self._entry_files()
-        for path in files:
-            try:
-                stat = path.stat()
-            except OSError:
-                continue
-            if self._is_unreachable(path):
-                removed.append((stat.st_size, path))
-            elif (
-                max_age_days is not None
-                and now - stat.st_mtime > max_age_days * 86400.0
-            ):
-                removed.append((stat.st_size, path))
-            else:
-                survivors.append((stat.st_mtime, stat.st_size, path))
-        if max_bytes is not None:
-            survivors.sort()  # oldest mtime first
-            total = sum(size for _, size, _ in survivors)
-            while survivors and total > max_bytes:
-                _, size, path = survivors.pop(0)
-                removed.append((size, path))
-                total -= size
-        for _, path in removed:
-            try:
-                path.unlink()
-            except OSError:
-                pass
-        self._prune_empty_shards()
-        return GCReport(
-            scanned_entries=len(files),
-            removed_entries=len(removed),
-            removed_bytes=sum(size for size, _ in removed),
-            kept_entries=len(survivors),
-            kept_bytes=sum(size for _, size, _ in survivors),
-        )
-
-    def _prune_empty_shards(self) -> None:
-        for shard in self.root.glob("*"):
-            if shard.is_dir():
-                try:
-                    shard.rmdir()
-                except OSError:
-                    pass  # non-empty
-
-    def clear(self) -> int:
-        """Delete every entry; returns the number of files removed."""
-        files = self._entry_files()
-        for path in files:
-            path.unlink()
-        self._prune_empty_shards()
-        return len(files)
+__all__ = [
+    "CACHE_DIR_ENV",
+    "DEFAULT_CACHE_DIR",
+    "SCHEMA_VERSION",
+    "CacheStats",
+    "GCReport",
+    "ResultCache",
+    "default_cache_dir",
+]

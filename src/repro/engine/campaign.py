@@ -16,6 +16,16 @@ deterministically from its spec, a staged parallel campaign is
 point-for-point identical to the serial sweep — parallelism can only
 compute (and cache) a few extra post-saturation points, never change the
 curve.
+
+Very large campaigns can additionally be *sharded* across independent
+invocations (processes or hosts): ``shard=(index, count)`` restricts a
+campaign to the specs whose content hash lands in shard ``index`` (see
+:func:`shard_specs` — disjoint, covering, and stable under spec-list
+reordering).  A sharded run computes the full grid for its slice (no
+saturation staging: that would need the other shards' results) and is a
+cache-population pass; after ``cache merge`` brings the shard stores
+together, the unsharded rerun assembles the real curves as a pure cache
+read.
 """
 
 from __future__ import annotations
@@ -30,9 +40,39 @@ from .spec import (
     ExperimentSpec,
     SyntheticTraffic,
     WorkloadTraffic,
+    iter_spec_keys,
     resolve_topology,
+    shard_for_key,
     topology_token,
 )
+
+
+def _validate_shard(shard: tuple[int, int]) -> tuple[int, int]:
+    index, count = shard
+    if count < 1 or not 0 <= index < count:
+        raise ValueError(
+            f"invalid shard {index}/{count}: need count >= 1 and "
+            "0 <= index < count"
+        )
+    return index, count
+
+
+def shard_specs(
+    specs: Sequence[ExperimentSpec], index: int, count: int
+) -> list[ExperimentSpec]:
+    """The subset of ``specs`` owned by shard ``index`` of ``count``.
+
+    Partitioned by spec *content hash*, so the split is a pure function
+    of what each spec means: the shards are disjoint, cover the whole
+    list, and are stable under reordering — every host slicing the same
+    campaign agrees on who owns which point, with no coordination.
+    """
+    _validate_shard((index, count))
+    return [
+        spec
+        for key, spec in zip(iter_spec_keys(specs), specs)
+        if shard_for_key(key, count) == index
+    ]
 
 
 def _resolve_entry(
@@ -101,9 +141,17 @@ def build_sweep_specs(
     # matter how the caller named the network.
     specs = [
         _spec_for(
-            token, pattern, load, config=config, packet_flits=packet_flits,
-            routing=routing, seed=seed, warmup=warmup, measure=measure,
-            drain=drain, layout=None,
+            token,
+            pattern,
+            load,
+            config=config,
+            packet_flits=packet_flits,
+            routing=routing,
+            seed=seed,
+            warmup=warmup,
+            measure=measure,
+            drain=drain,
+            layout=None,
         )
         for load in sorted(loads)
     ]
@@ -151,9 +199,14 @@ def run_sweep(
     layout: str | None = None,
     stop_after_saturation: bool = True,
     name: str | None = None,
+    shard: tuple[int, int] | None = None,
     progress=None,
 ):
-    """One latency-load curve through the engine (cached + parallel)."""
+    """One latency-load curve through the engine (cached + parallel).
+
+    ``shard=(index, count)`` runs only this invocation's slice of the
+    grid (a cache-population pass; see :func:`run_compare`).
+    """
     curves = run_compare(
         engine,
         {_label(name, topology): topology},
@@ -168,6 +221,7 @@ def run_sweep(
         drain=drain,
         layout=layout,
         stop_after_saturation=stop_after_saturation,
+        shard=shard,
         progress=progress,
     )
     return next(iter(curves.values()))
@@ -195,6 +249,7 @@ def run_compare(
     drain: int = 1500,
     layout: str | None = None,
     stop_after_saturation: bool = True,
+    shard: tuple[int, int] | None = None,
     progress=None,
 ):
     """Sweep several labeled networks under one pattern (Figures 12-14).
@@ -202,13 +257,25 @@ def run_compare(
     All still-unsaturated networks contribute their next chunk of loads
     to each engine batch, so a multi-worker engine parallelizes across
     networks *and* loads while preserving per-network early stop.
+
+    With ``shard=(index, count)`` the call becomes one slice of a
+    distributed campaign: the *full* (network × load) grid is built (no
+    saturation staging — that would need the other shards' results),
+    only the specs owned by this shard are executed, and the returned
+    curves cover just those points.  Merge the shard stores and rerun
+    unsharded to assemble the complete curves from cache.
     """
     loads = sorted(loads)
     # layout is consumed by _resolve_entry; fingerprint-keyed specs carry
     # layout=None so cache keys don't depend on how the network was named.
     spec_kw = dict(
-        packet_flits=packet_flits, routing=routing, seed=seed,
-        warmup=warmup, measure=measure, drain=drain, layout=None,
+        packet_flits=packet_flits,
+        routing=routing,
+        seed=seed,
+        warmup=warmup,
+        measure=measure,
+        drain=drain,
+        layout=None,
     )
     per_label: dict[str, dict] = {}
     topo_map: dict[str, Topology] = {}
@@ -223,6 +290,35 @@ def run_compare(
             "done": not loads,
         }
 
+    if shard is not None:
+        index, count = _validate_shard(shard)
+        batch = []
+        specs = []
+        for label, info in per_label.items():
+            for load in loads:
+                spec = _spec_for(
+                    info["token"], pattern, load, config=info["config"], **spec_kw
+                )
+                if spec.shard_of(count) == index:
+                    batch.append((label, load))
+                    specs.append(spec)
+        results = engine.run(specs, topologies=topo_map, progress=progress)
+        shard_points: dict[str, list] = {label: [] for label in per_label}
+        for (label, load), outcome in zip(batch, results):
+            shard_points[label].append((load, outcome))
+        # Partial curves over this shard's own points only (no truncation
+        # — the gaps belong to other shards).
+        return {
+            label: assemble_curve(
+                label,
+                pattern,
+                [load for load, _ in points],
+                [outcome for _, outcome in points],
+                stop_after_saturation=False,
+            )
+            for label, points in shard_points.items()
+        }
+
     active = [label for label, info in per_label.items() if not info["done"]]
     while active:
         if stop_after_saturation:
@@ -233,12 +329,11 @@ def run_compare(
         specs: list[ExperimentSpec] = []
         for label in active:
             info = per_label[label]
-            for load in loads[info["next"]: info["next"] + chunk]:
+            for load in loads[info["next"] : info["next"] + chunk]:
                 batch.append((label, load))
                 specs.append(
                     _spec_for(
-                        info["token"], pattern, load,
-                        config=info["config"], **spec_kw,
+                        info["token"], pattern, load, config=info["config"], **spec_kw
                     )
                 )
             info["next"] += chunk
@@ -314,9 +409,16 @@ def build_workload_specs(
     token, topology = _resolve_entry(topology, layout)
     specs = [
         _workload_spec_for(
-            token, bench, config=config, intensity_scale=intensity_scale,
-            packet_flits=packet_flits, routing=routing, seed=seed,
-            warmup=warmup, measure=measure, drain=drain,
+            token,
+            bench,
+            config=config,
+            intensity_scale=intensity_scale,
+            packet_flits=packet_flits,
+            routing=routing,
+            seed=seed,
+            warmup=warmup,
+            measure=measure,
+            drain=drain,
         )
         for bench in benches
     ]
@@ -338,6 +440,7 @@ def workload_compare(
     measure: int = 800,
     drain: int = 1500,
     layout: str | None = None,
+    shard: tuple[int, int] | None = None,
     progress=None,
 ) -> dict[str, dict[str, SimResult]]:
     """Run every (network × benchmark) point as one engine batch.
@@ -346,7 +449,14 @@ def workload_compare(
     no saturation early stop — each benchmark is a single point — so the
     whole grid is submitted at once: a multi-worker engine fans it out,
     and every point is individually content-addressed in the cache.
+
+    With ``shard=(index, count)`` only this shard's slice of the grid is
+    executed, and the returned table holds just those cells — a
+    cache-population pass for distributed campaigns (merge the shard
+    stores and rerun unsharded for the full table).
     """
+    if shard is not None:
+        shard = _validate_shard(shard)
     topo_map: dict[str, Topology] = {}
     batch: list[tuple[str, str]] = []
     specs: list[ExperimentSpec] = []
@@ -355,15 +465,22 @@ def workload_compare(
         topo_map[token] = topology
         label_config = (configs or {}).get(label, config)
         for bench in benches:
-            batch.append((label, bench))
-            specs.append(
-                _workload_spec_for(
-                    token, bench, config=label_config,
-                    intensity_scale=intensity_scale,
-                    packet_flits=packet_flits, routing=routing, seed=seed,
-                    warmup=warmup, measure=measure, drain=drain,
-                )
+            spec = _workload_spec_for(
+                token,
+                bench,
+                config=label_config,
+                intensity_scale=intensity_scale,
+                packet_flits=packet_flits,
+                routing=routing,
+                seed=seed,
+                warmup=warmup,
+                measure=measure,
+                drain=drain,
             )
+            if shard is not None and spec.shard_of(shard[1]) != shard[0]:
+                continue
+            batch.append((label, bench))
+            specs.append(spec)
     results = engine.run(specs, topologies=topo_map, progress=progress)
     table: dict[str, dict[str, SimResult]] = {label: {} for label in topologies}
     for (label, bench), outcome in zip(batch, results):

@@ -4,10 +4,17 @@
 returns one :class:`~repro.sim.SimResult` per spec, in order:
 
 1. duplicate specs are coalesced (one simulation serves all copies);
-2. the content-addressed cache is consulted for each unique spec;
+2. the content-addressed cache is consulted for every unique spec in a
+   *single* batched round trip (:meth:`ResultCache.get_many` — one
+   indexed query on a SQLite pack, instead of per-spec file probes);
 3. misses are executed — on a ``ProcessPoolExecutor`` when the batch is
    big enough to amortize worker startup, serially in-process otherwise —
-   and written back to the cache.
+   and written back through one batched :meth:`ResultCache.put_many`.
+
+A batch with zero misses never touches the process machinery at all:
+the worker pool is created lazily by the first miss that goes parallel,
+so a fully cached repeat run (e.g. replaying a campaign against a
+merged shard store) costs one cache query and no ``fork``/``spawn``.
 
 Results are *normalized* through the JSON codec in both paths, so a
 fresh simulation, a parallel run, and a cache hit are indistinguishable
@@ -30,8 +37,8 @@ from typing import Callable, Sequence
 
 from ..sim import SimResult
 from ..topos.base import Topology
-from .cache import ResultCache
 from .spec import FINGERPRINT_PREFIX, ExperimentSpec
+from .store import ResultCache
 
 #: progress(done, total, spec, from_cache) — invoked once per unique spec.
 ProgressFn = Callable[[int, int, ExperimentSpec, bool], None]
@@ -80,10 +87,21 @@ class RunStats:
 
     def snapshot(self) -> "RunStats":
         return RunStats(
-            requested=self.requested, unique=self.unique,
-            cache_hits=self.cache_hits, executed=self.executed,
+            requested=self.requested,
+            unique=self.unique,
+            cache_hits=self.cache_hits,
+            executed=self.executed,
             workers=self.workers,
         )
+
+    def to_dict(self) -> dict:
+        return {
+            "requested": self.requested,
+            "unique": self.unique,
+            "cache_hits": self.cache_hits,
+            "executed": self.executed,
+            "workers": self.workers,
+        }
 
 
 class ExperimentEngine:
@@ -115,15 +133,24 @@ class ExperimentEngine:
 
     # ------------------------------------------------------------------
 
+    @property
+    def pool_active(self) -> bool:
+        """Whether a worker pool currently exists.  Pure cache replays
+        must leave this ``False`` — process startup is the one cost a
+        merged-store repeat run is supposed to skip."""
+        return self._pool is not None
+
     def _ensure_pool(self) -> ProcessPoolExecutor:
         """Lazily create (and then reuse) the worker pool, so staged
-        campaigns don't pay process startup once per batch."""
+        campaigns don't pay process startup once per batch — and fully
+        cached runs never pay it at all."""
         if self._pool is None:
             self._pool = ProcessPoolExecutor(max_workers=self.max_workers)
         return self._pool
 
     def close(self) -> None:
-        """Shut down the worker pool (idempotent)."""
+        """Shut down the worker pool if one was ever started (idempotent;
+        a no-op for engines that only ever served cache hits)."""
         if self._pool is not None:
             self._pool.shutdown()
             self._pool = None
@@ -153,13 +180,15 @@ class ExperimentEngine:
             requested=len(specs), unique=len(unique), workers=self.max_workers
         )
 
+        # Cache-first pass: one batched backend round trip for the whole
+        # batch, not a per-spec probe.
         results: dict[str, SimResult] = {}
+        if self.cache is not None:
+            results = self.cache.get_many(unique.values())
         misses: list[tuple[str, ExperimentSpec]] = []
         done = 0
         for key, spec in unique.items():
-            cached = self.cache.get(spec) if self.cache is not None else None
-            if cached is not None:
-                results[key] = cached
+            if key in results:
                 stats.cache_hits += 1
                 done += 1
                 if progress is not None:
@@ -178,10 +207,11 @@ class ExperimentEngine:
                     ) from None
             return None
 
+        executed: list[tuple[ExperimentSpec, SimResult]] = []
+
         def record(key: str, spec: ExperimentSpec, result: SimResult) -> None:
             nonlocal done
-            if self.cache is not None:
-                self.cache.put(spec, result)
+            executed.append((spec, result))
             results[key] = result
             stats.executed += 1
             done += 1
@@ -190,25 +220,34 @@ class ExperimentEngine:
 
         if misses:
             parallel = self.max_workers > 1 and len(misses) >= self.serial_threshold
-            if parallel:
-                pool = self._ensure_pool()
-                pending = {
-                    pool.submit(
-                        _execute_remote, (spec.to_dict(), topology_for(spec))
-                    ): (key, spec)
-                    for key, spec in misses
-                }
-                while pending:
-                    finished, _ = wait(pending, return_when=FIRST_COMPLETED)
-                    for future in finished:
-                        key, spec = pending.pop(future)
-                        record(key, spec, SimResult.from_dict(future.result()))
-            else:
-                for key, spec in misses:
-                    raw = spec.execute(topology=topology_for(spec))
-                    # Normalize through the codec so serial results match
-                    # cached/parallel ones byte-for-byte.
-                    record(key, spec, SimResult.from_dict(raw.to_dict()))
+            try:
+                if parallel:
+                    pool = self._ensure_pool()
+                    pending = {
+                        pool.submit(
+                            _execute_remote, (spec.to_dict(), topology_for(spec))
+                        ): (key, spec)
+                        for key, spec in misses
+                    }
+                    while pending:
+                        finished, _ = wait(pending, return_when=FIRST_COMPLETED)
+                        for future in finished:
+                            key, spec = pending.pop(future)
+                            record(key, spec, SimResult.from_dict(future.result()))
+                else:
+                    for key, spec in misses:
+                        raw = spec.execute(topology=topology_for(spec))
+                        # Normalize through the codec so serial results match
+                        # cached/parallel ones byte-for-byte.
+                        record(key, spec, SimResult.from_dict(raw.to_dict()))
+            finally:
+                # One batched write-back per engine batch (a single
+                # transaction on a SQLite pack).  Flushed even when a miss
+                # raises or the run is interrupted, so every simulation
+                # that *did* finish survives into the store — nothing a
+                # sharded campaign already paid for is re-simulated.
+                if self.cache is not None and executed:
+                    self.cache.put_many(executed)
 
         self.last_stats = stats
         self.total_stats.accumulate(stats)
@@ -223,18 +262,23 @@ def default_engine() -> ExperimentEngine:
 
     ``REPRO_WORKERS=N`` enables N-process fan-out; ``REPRO_NO_CACHE=1``
     turns off the on-disk cache (otherwise ``REPRO_CACHE_DIR`` or
-    ``.repro_cache/``).  One engine is shared per environment
-    configuration so its worker pool and hit counters persist across
-    sweeps.
+    ``.repro_cache/``, with ``REPRO_CACHE_BACKEND`` selecting the store
+    implementation).  One engine is shared per environment configuration
+    so its worker pool and hit counters persist across sweeps.
     """
-    from .cache import CACHE_DIR_ENV
+    from .store import BACKEND_ENV, CACHE_DIR_ENV
 
     no_cache = bool(os.environ.get(NO_CACHE_ENV))
     try:
         workers = max(1, int(os.environ.get(WORKERS_ENV, "") or 1))
     except ValueError:
         workers = 1
-    signature = (no_cache, os.environ.get(CACHE_DIR_ENV), workers)
+    signature = (
+        no_cache,
+        os.environ.get(CACHE_DIR_ENV),
+        os.environ.get(BACKEND_ENV),
+        workers,
+    )
     engine = _default_engines.get(signature)
     if engine is None:
         cache = None if no_cache else ResultCache()

@@ -20,7 +20,7 @@ Because the simulator is deterministic given these inputs, the spec's
 :meth:`~ExperimentSpec.content_hash` is a *content address* for its
 result: two specs with equal hashes produce byte-identical serialized
 results, which is what makes the on-disk cache
-(:mod:`repro.engine.cache`) and the process-pool runner
+(:mod:`repro.engine.store`) and the process-pool runner
 (:mod:`repro.engine.runner`) safe.
 
 Specs round-trip through JSON (:meth:`~ExperimentSpec.to_dict` /
@@ -33,7 +33,7 @@ from __future__ import annotations
 import hashlib
 import json
 from dataclasses import asdict, dataclass, field
-from typing import ClassVar, Union
+from typing import ClassVar, Iterable, Iterator, Union
 
 from ..routing import (
     DimensionOrderRouting,
@@ -66,9 +66,7 @@ FINGERPRINT_PREFIX = "fp:"
 #: Routing schemes a worker process can rebuild by name.
 ROUTING_BUILDERS = {
     "default": lambda topo: default_routing(topo),
-    "minimal": lambda topo: StaticMinimalRouting(
-        topo, num_vcs=max(2, topo.diameter)
-    ),
+    "minimal": lambda topo: StaticMinimalRouting(topo, num_vcs=max(2, topo.diameter)),
     "dor": lambda topo: DimensionOrderRouting(topo),
     "valiant": lambda topo: ValiantRouting(topo),
     "ugal-l": lambda topo: UGALRouting(topo, global_info=False),
@@ -307,18 +305,47 @@ class ExperimentSpec:
             self.__dict__["_content_hash"] = cached
         return cached
 
+    def shard_of(self, shard_count: int) -> int:
+        """Which of ``shard_count`` campaign shards owns this spec."""
+        return shard_for_key(self.content_hash(), shard_count)
+
     def execute(self, topology: Topology | None = None) -> SimResult:
         """Run the simulation this spec describes (in any process).
 
         ``topology`` short-circuits token resolution and is mandatory for
         fingerprint specs.
         """
-        topo = topology if topology is not None else resolve_topology(
-            self.topology, self.layout
-        )
+        topo = topology
+        if topo is None:
+            topo = resolve_topology(self.topology, self.layout)
         routing = build_routing(self.routing, topo)
         sim = NoCSimulator(topo, self.config, routing=routing, seed=self.seed)
         source = self.source.build(topo, self.packet_flits, self.seed)
         return sim.run(
             source, warmup=self.warmup, measure=self.measure, drain=self.drain
         )
+
+
+def iter_spec_keys(specs: Iterable[ExperimentSpec]) -> Iterator[str]:
+    """Content hashes for ``specs`` in order — the store and shard keys.
+
+    The iteration point shared by the cache-first pass
+    (:meth:`~repro.engine.store.frontend.ResultCache.get_many`) and shard
+    partitioning (:func:`~repro.engine.campaign.shard_specs`), so "the
+    key of a spec" has exactly one definition.
+    """
+    for spec in specs:
+        yield spec.content_hash()
+
+
+def shard_for_key(key: str, shard_count: int) -> int:
+    """Deterministic shard index of a content key, in ``[0, shard_count)``.
+
+    Derived from the key's leading hex digits, so the partition is a
+    pure function of spec *content*: disjoint, covering, and stable
+    under spec-list reordering — every worker that computes the same
+    spec agrees on which shard owns it.
+    """
+    if shard_count < 1:
+        raise ValueError("shard_count must be >= 1")
+    return int(key[:16], 16) % shard_count

@@ -1,0 +1,69 @@
+"""Pluggable result stores for the experiment engine.
+
+The store package splits the old monolithic ``engine.cache`` module
+into a small :class:`CacheBackend` protocol plus interchangeable
+implementations, so one campaign can be sharded across hosts and its
+results merged back into a single store:
+
+* :mod:`~repro.engine.store.base` — the protocol, the canonical entry
+  codec, version-reachability rules, and :func:`merge_stores`;
+* :mod:`~repro.engine.store.localdir` — :class:`LocalDirStore`, the
+  original one-JSON-file-per-entry sharded directory (existing
+  ``.repro_cache/`` directories keep working unchanged);
+* :mod:`~repro.engine.store.sqlite` — :class:`SqlitePackStore`, a
+  single WAL-mode SQLite file: safe for concurrent shard writers on
+  one host, one inode for 10k+ entries, and the transport format for
+  ``cache export`` / ``cache merge``;
+* :mod:`~repro.engine.store.frontend` — :class:`ResultCache`, the
+  engine-facing wrapper adding the SimResult codec, hit counters,
+  batched ``get_many``/``put_many``, and the ``REPRO_CACHE_MAX_BYTES``
+  auto-GC.
+
+Backends are selected by location: a directory path keeps the classic
+layout, ``*.sqlite``/``*.db``/``*.pack`` files or ``sqlite:`` URLs open
+a pack, and ``REPRO_CACHE_BACKEND=sqlite`` packs even plain-path caches.
+"""
+
+from .base import (
+    BACKEND_ENV,
+    CACHE_DIR_ENV,
+    DEFAULT_CACHE_DIR,
+    MAX_BYTES_ENV,
+    PACK_SUFFIXES,
+    SCHEMA_VERSION,
+    CacheBackend,
+    CacheStats,
+    GCReport,
+    MergeReport,
+    RawEntry,
+    default_cache_dir,
+    encode_entry,
+    entry_is_unreachable,
+    merge_stores,
+    open_backend,
+)
+from .frontend import ResultCache
+from .localdir import LocalDirStore
+from .sqlite import SqlitePackStore
+
+__all__ = [
+    "BACKEND_ENV",
+    "CACHE_DIR_ENV",
+    "DEFAULT_CACHE_DIR",
+    "MAX_BYTES_ENV",
+    "PACK_SUFFIXES",
+    "SCHEMA_VERSION",
+    "CacheBackend",
+    "CacheStats",
+    "GCReport",
+    "LocalDirStore",
+    "MergeReport",
+    "RawEntry",
+    "ResultCache",
+    "SqlitePackStore",
+    "default_cache_dir",
+    "encode_entry",
+    "entry_is_unreachable",
+    "merge_stores",
+    "open_backend",
+]

@@ -1,0 +1,326 @@
+"""Backend-neutral pieces of the result store: protocol, codec, reports.
+
+A :class:`CacheBackend` is anything that can hold content-addressed JSON
+*entries* — ``{"schema": 1, "kind": ..., "result": ..., ["spec": ...]}``
+— keyed by a spec content hash.  Two implementations ship with the
+engine: :class:`~repro.engine.store.localdir.LocalDirStore` (the
+original one-file-per-entry sharded directory) and
+:class:`~repro.engine.store.sqlite.SqlitePackStore` (a single SQLite
+file in WAL mode).  Everything that gives the cache its semantics —
+the canonical entry encoding, the schema/spec-version reachability
+rules, LRU-by-mtime eviction — lives here so the backends cannot
+drift apart.
+
+Backends store raw entries and know nothing about simulation results or
+hit counting; that is the job of the
+:class:`~repro.engine.store.frontend.ResultCache` front end.  Because
+every entry is encoded canonically, moving entries between backends
+(:func:`merge_stores`) preserves content exactly: a merged store is
+byte-for-byte equivalent to having run the campaign locally.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Iterable, Iterator, Protocol, runtime_checkable
+
+#: Bump when the encoded layout of cache entries changes; mismatched
+#: entries are ignored (recomputed and overwritten), never misread.
+SCHEMA_VERSION = 1
+
+#: Default cache location, overridable via the environment.
+CACHE_DIR_ENV = "REPRO_CACHE_DIR"
+DEFAULT_CACHE_DIR = ".repro_cache"
+
+#: Backend selection for plain-path locations: ``dir`` (default) or
+#: ``sqlite``.  URL-style locations (``sqlite:...`` / ``dir:...``) and
+#: pack-file suffixes win over this.
+BACKEND_ENV = "REPRO_CACHE_BACKEND"
+
+#: When set, :class:`~repro.engine.store.frontend.ResultCache` runs the
+#: LRU ``gc`` automatically once writes push the store past this size.
+MAX_BYTES_ENV = "REPRO_CACHE_MAX_BYTES"
+
+#: File suffixes that mark a location as a SQLite pack rather than a
+#: cache directory.
+PACK_SUFFIXES = (".sqlite", ".db", ".pack")
+
+
+def default_cache_dir() -> Path:
+    return Path(os.environ.get(CACHE_DIR_ENV) or DEFAULT_CACHE_DIR)
+
+
+def encode_entry(entry: dict) -> str:
+    """Canonical, byte-deterministic JSON encoding of one entry.
+
+    Every writer uses this encoder, so the same spec always produces
+    byte-identical entries — across processes, hosts, and backends.
+    """
+    return json.dumps(entry, sort_keys=True, separators=(",", ":"))
+
+
+def chunked(seq: list, size: int = 500) -> Iterator[list]:
+    """Split ``seq`` for batched backend calls (SQLite's default bound
+    variable limit is 999; stay well under it)."""
+    for start in range(0, len(seq), size):
+        yield seq[start : start + size]
+
+
+def entry_is_unreachable(text: str, spec_version: int | None = None) -> bool:
+    """True when no current lookup key can ever hit this entry.
+
+    Entries are written by :func:`encode_entry` with a canonical
+    encoding (sorted keys, ``(",", ":")`` separators), so the version
+    markers appear as exact byte sequences — membership tests on the
+    raw text replace a full JSON parse of every result payload.
+    Anything not written by that encoder fails the check and counts as
+    unreachable, which matches ``get_payload`` treating it as a
+    permanent miss.
+    """
+    if spec_version is None:
+        from ..spec import SPEC_VERSION
+
+        spec_version = SPEC_VERSION
+
+    def has(marker: str) -> bool:  # value followed by , or } (not "1" in "12")
+        return marker + "," in text or marker + "}" in text
+
+    if not has(f'"schema":{SCHEMA_VERSION}'):
+        return True
+    if '"spec":{' in text and not has(f'"spec_version":{spec_version}'):
+        return True
+    return False
+
+
+@dataclass(frozen=True)
+class CacheStats:
+    """Snapshot of a result store plus this process's hit counters.
+
+    ``reclaimable_entries``/``reclaimable_bytes`` count *unreachable*
+    entries: ones written under an older cache schema or an older spec
+    version, which no current lookup key can ever hit.  ``cache gc``
+    removes them unconditionally.
+    """
+
+    entries: int
+    size_bytes: int
+    hits: int
+    misses: int
+    reclaimable_entries: int = 0
+    reclaimable_bytes: int = 0
+
+    @property
+    def size_mb(self) -> float:
+        return self.size_bytes / 1e6
+
+
+@dataclass(frozen=True)
+class GCReport:
+    """Outcome of one :meth:`CacheBackend.gc` pass."""
+
+    scanned_entries: int
+    removed_entries: int
+    removed_bytes: int
+    kept_entries: int
+    kept_bytes: int
+
+
+@dataclass(frozen=True)
+class RawEntry:
+    """One store entry in transit between backends: the decoded entry
+    dict plus its last-use timestamp (so a merge preserves LRU order)."""
+
+    key: str
+    entry: dict
+    mtime: float
+
+    def encoded(self) -> str:
+        return encode_entry(self.entry)
+
+
+@runtime_checkable
+class CacheBackend(Protocol):
+    """What a result store must provide to back a ``ResultCache``.
+
+    ``get_payload``/``put_payload`` move schema-checked payloads for one
+    ``kind``; ``get_entry``/``put_entry`` move raw entries between
+    backends (export/merge); ``iter_keys``/``stats``/``gc`` support
+    maintenance.  Implementations must be safe for concurrent writers
+    on one host: last-writer-wins on identical canonical bytes.
+    """
+
+    @property
+    def location(self) -> str:
+        """Human-readable position of the store (path or URL)."""
+        ...
+
+    def get_payload(self, key: str, kind: str) -> dict | None:
+        """Payload under ``key`` if present, readable, and current;
+        refreshes the entry's LRU position on a hit."""
+        ...
+
+    def get_payload_many(self, keys: Iterable[str], kind: str) -> dict[str, dict]:
+        """Batch form of :meth:`get_payload`: one backend round trip,
+        returning ``{key: payload}`` for the hits only."""
+        ...
+
+    def put_payload(
+        self, key: str, kind: str, result: dict, spec: dict | None = None
+    ) -> int:
+        """Atomically store ``result`` under ``key``; returns bytes written."""
+        ...
+
+    def put_payload_many(
+        self, items: Iterable[tuple[str, str, dict, dict | None]]
+    ) -> int:
+        """Batch form of :meth:`put_payload` (one transaction / fsync
+        window); returns total bytes written."""
+        ...
+
+    def iter_keys(self) -> Iterator[str]:
+        """All entry keys, in sorted order."""
+        ...
+
+    def get_entry(self, key: str) -> RawEntry | None:
+        """Raw entry for ``key`` (no schema check, no LRU touch)."""
+        ...
+
+    def get_entry_many(self, keys: Iterable[str]) -> dict[str, RawEntry]:
+        """Batch form of :meth:`get_entry`: one backend round trip,
+        returning ``{key: entry}`` for the keys that exist."""
+        ...
+
+    def put_entry(self, key: str, entry: dict, mtime: float | None = None) -> int:
+        """Store a raw entry verbatim (optionally backdating its LRU
+        timestamp); returns bytes written."""
+        ...
+
+    def put_entry_many(self, entries: Iterable[RawEntry]) -> int:
+        """Batch form of :meth:`put_entry`, preserving each entry's
+        mtime (one transaction); returns total bytes written."""
+        ...
+
+    def size_bytes(self) -> int:
+        """Total stored bytes — cheap (no per-entry content scan), for
+        the auto-GC size estimate."""
+        ...
+
+    def stats(self) -> CacheStats:
+        """Entry/byte totals; ``hits``/``misses`` are always 0 (the
+        front end owns the counters)."""
+        ...
+
+    def gc(
+        self,
+        max_bytes: int | None = None,
+        max_age_days: float | None = None,
+        now: float | None = None,
+    ) -> GCReport:
+        """Evict entries, least-recently-used first (see ``ResultCache.gc``)."""
+        ...
+
+    def clear(self) -> int:
+        """Delete every entry; returns the number removed."""
+        ...
+
+    def close(self) -> None:
+        """Release any handles (idempotent; a no-op for directory stores)."""
+        ...
+
+
+def open_backend(location: str | os.PathLike | None = None) -> CacheBackend:
+    """Open the store at ``location``, picking the backend from its form.
+
+    * ``sqlite:<path>`` / ``dir:<path>`` URL prefixes force a backend;
+    * a path ending in ``.sqlite``/``.db``/``.pack`` opens a
+      :class:`SqlitePackStore`;
+    * anything else is a cache directory — unless ``REPRO_CACHE_BACKEND``
+      is ``sqlite``, which packs the store into ``<dir>/results.sqlite``.
+
+    ``None`` falls back to ``REPRO_CACHE_DIR`` / ``.repro_cache``.
+    """
+    from .localdir import LocalDirStore
+    from .sqlite import SqlitePackStore
+
+    if location is None:
+        location = os.environ.get(CACHE_DIR_ENV) or DEFAULT_CACHE_DIR
+    text = os.fspath(location)
+    if text.startswith("sqlite:"):
+        return SqlitePackStore(text[len("sqlite:") :])
+    if text.startswith("dir:"):
+        return LocalDirStore(text[len("dir:") :])
+    path = Path(text)
+    if path.suffix in PACK_SUFFIXES:
+        return SqlitePackStore(path)
+    backend = (os.environ.get(BACKEND_ENV) or "dir").strip().lower()
+    if backend == "sqlite":
+        return SqlitePackStore(path / "results.sqlite")
+    if backend in ("", "dir", "local", "localdir"):
+        return LocalDirStore(path)
+    raise ValueError(f"unknown {BACKEND_ENV} value {backend!r}; options: dir, sqlite")
+
+
+@dataclass(frozen=True)
+class MergeReport:
+    """Outcome of copying one source store into a destination.
+
+    ``conflicts`` counts keys present in both stores with *different*
+    canonical bytes — a spec-version skew or a corrupted entry; the
+    destination's copy is kept.  Identical entries count as ``skipped``.
+    """
+
+    copied: int
+    skipped: int
+    conflicts: int
+    copied_bytes: int
+
+    def accumulate(self, other: "MergeReport") -> "MergeReport":
+        return MergeReport(
+            copied=self.copied + other.copied,
+            skipped=self.skipped + other.skipped,
+            conflicts=self.conflicts + other.conflicts,
+            copied_bytes=self.copied_bytes + other.copied_bytes,
+        )
+
+
+def merge_stores(dst: CacheBackend, src: CacheBackend) -> MergeReport:
+    """Copy every entry of ``src`` into ``dst`` by content key.
+
+    Skip-if-present: keys already in ``dst`` are left untouched (counted
+    as ``skipped`` when byte-identical, ``conflicts`` otherwise).  Source
+    mtimes ride along, so LRU eviction order survives the merge.  This
+    is how sharded campaign outputs rendezvous into one store — after
+    merging every shard, the full unsharded rerun is a pure cache read.
+
+    Entries move through the batch APIs in :func:`chunked` groups, so a
+    10k-entry pack merges in a few dozen round trips (one read per side
+    and one write transaction per chunk), not 10k single-row commits.
+    """
+    copied = skipped = conflicts = copied_bytes = 0
+    for keys in chunked(list(src.iter_keys())):
+        theirs = src.get_entry_many(keys)
+        ours = dst.get_entry_many(keys)
+        fresh: list[RawEntry] = []
+        for key in keys:
+            raw = theirs.get(key)
+            if raw is None:  # racing gc/clear on the source
+                continue
+            existing = ours.get(key)
+            if existing is None:
+                fresh.append(raw)
+            elif existing.encoded() == raw.encoded():
+                skipped += 1
+            else:
+                conflicts += 1
+        if fresh:
+            copied_bytes += dst.put_entry_many(fresh)
+            copied += len(fresh)
+    return MergeReport(
+        copied=copied,
+        skipped=skipped,
+        conflicts=conflicts,
+        copied_bytes=copied_bytes,
+    )

@@ -1,0 +1,261 @@
+"""Sharded-directory store: one JSON file per entry (the original layout).
+
+Each entry is one file named by the spec's content hash, sharded by the
+first two hex digits::
+
+    <root>/ab/abcdef….json
+    {"schema": 1, "kind": "sim", "spec": {...}, "result": {...}}
+
+Entries are written atomically (temp file + rename) with the canonical
+encoding from :func:`~repro.engine.store.base.encode_entry`, so the same
+spec always produces byte-identical files, and concurrent writers of the
+same key simply race to produce identical bytes.  The file's mtime is
+the entry's LRU timestamp: reads touch it, ``gc`` evicts in mtime order.
+
+This layout predates the :class:`CacheBackend` split — existing
+``.repro_cache/`` directories keep working unchanged — but it spends one
+inode per point, which is why 10k+-entry campaigns may prefer the
+:class:`~repro.engine.store.sqlite.SqlitePackStore`.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+import time
+from pathlib import Path
+from typing import Iterable, Iterator
+
+from .base import (
+    SCHEMA_VERSION,
+    CacheStats,
+    GCReport,
+    RawEntry,
+    encode_entry,
+    entry_is_unreachable,
+)
+
+
+class LocalDirStore:
+    """Content-addressed JSON store backed by a sharded directory tree."""
+
+    def __init__(self, root: Path | str):
+        self.root = Path(root)
+
+    @property
+    def location(self) -> str:
+        return str(self.root)
+
+    def __repr__(self) -> str:
+        return f"LocalDirStore({str(self.root)!r})"
+
+    def path_for_key(self, key: str) -> Path:
+        """Where ``key``'s entry lives (whether or not it exists yet)."""
+        return self.root / key[:2] / f"{key}.json"
+
+    # -- payloads -----------------------------------------------------------
+
+    def get_payload(self, key: str, kind: str) -> dict | None:
+        path = self.path_for_key(key)
+        try:
+            entry = json.loads(path.read_text(encoding="utf-8"))
+        except (OSError, ValueError):
+            return None
+        result = entry.get("result")
+        if (
+            entry.get("schema") != SCHEMA_VERSION
+            or entry.get("kind") != kind
+            or result is None
+        ):
+            return None
+        try:
+            # Touch on read: mtime order is the LRU order gc() evicts in.
+            os.utime(path)
+        except OSError:
+            pass
+        return result
+
+    def get_payload_many(self, keys: Iterable[str], kind: str) -> dict[str, dict]:
+        found: dict[str, dict] = {}
+        for key in keys:
+            payload = self.get_payload(key, kind)
+            if payload is not None:
+                found[key] = payload
+        return found
+
+    def put_payload(
+        self, key: str, kind: str, result: dict, spec: dict | None = None
+    ) -> int:
+        entry = {"schema": SCHEMA_VERSION, "kind": kind, "result": result}
+        if spec is not None:
+            entry["spec"] = spec
+        return self.put_entry(key, entry)
+
+    def put_payload_many(
+        self, items: Iterable[tuple[str, str, dict, dict | None]]
+    ) -> int:
+        written = 0
+        for key, kind, result, spec in items:
+            written += self.put_payload(key, kind, result, spec=spec)
+        return written
+
+    # -- raw entries --------------------------------------------------------
+
+    def get_entry(self, key: str) -> RawEntry | None:
+        path = self.path_for_key(key)
+        try:
+            text = path.read_text(encoding="utf-8")
+            mtime = path.stat().st_mtime
+            entry = json.loads(text)
+        except (OSError, ValueError):
+            return None
+        if not isinstance(entry, dict):
+            return None
+        return RawEntry(key=key, entry=entry, mtime=mtime)
+
+    def get_entry_many(self, keys: Iterable[str]) -> dict[str, RawEntry]:
+        found: dict[str, RawEntry] = {}
+        for key in keys:
+            raw = self.get_entry(key)
+            if raw is not None:
+                found[key] = raw
+        return found
+
+    def put_entry(self, key: str, entry: dict, mtime: float | None = None) -> int:
+        path = self.path_for_key(key)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        blob = encode_entry(entry)
+        fd, tmp = tempfile.mkstemp(dir=path.parent, suffix=".tmp")
+        try:
+            with os.fdopen(fd, "w", encoding="utf-8") as handle:
+                handle.write(blob)
+            if mtime is not None:
+                os.utime(tmp, (mtime, mtime))
+            os.replace(tmp, path)
+        except BaseException:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise
+        return len(blob)
+
+    def put_entry_many(self, entries: Iterable[RawEntry]) -> int:
+        written = 0
+        for raw in entries:
+            written += self.put_entry(raw.key, raw.entry, mtime=raw.mtime)
+        return written
+
+    # -- maintenance --------------------------------------------------------
+
+    def _entry_files(self) -> list[Path]:
+        if not self.root.is_dir():
+            return []
+        return sorted(self.root.glob("*/*.json"))
+
+    def iter_keys(self) -> Iterator[str]:
+        for path in self._entry_files():
+            yield path.stem
+
+    def _is_unreachable(self, path: Path) -> bool:
+        try:
+            text = path.read_text(encoding="utf-8")
+        except OSError:
+            return True
+        return entry_is_unreachable(text)
+
+    def size_bytes(self) -> int:
+        total = 0
+        for path in self._entry_files():
+            try:
+                total += path.stat().st_size
+            except OSError:
+                continue
+        return total
+
+    def stats(self) -> CacheStats:
+        files = self._entry_files()
+        size = 0
+        reclaimable_entries = 0
+        reclaimable_bytes = 0
+        for path in files:
+            try:
+                nbytes = path.stat().st_size
+            except OSError:
+                continue
+            size += nbytes
+            if self._is_unreachable(path):
+                reclaimable_entries += 1
+                reclaimable_bytes += nbytes
+        return CacheStats(
+            entries=len(files),
+            size_bytes=size,
+            hits=0,
+            misses=0,
+            reclaimable_entries=reclaimable_entries,
+            reclaimable_bytes=reclaimable_bytes,
+        )
+
+    def gc(
+        self,
+        max_bytes: int | None = None,
+        max_age_days: float | None = None,
+        now: float | None = None,
+    ) -> GCReport:
+        now = time.time() if now is None else now
+        survivors: list[tuple[float, int, Path]] = []  # (mtime, size, path)
+        removed: list[tuple[int, Path]] = []
+        files = self._entry_files()
+        for path in files:
+            try:
+                stat = path.stat()
+            except OSError:
+                continue
+            if self._is_unreachable(path):
+                removed.append((stat.st_size, path))
+            elif (
+                max_age_days is not None
+                and now - stat.st_mtime > max_age_days * 86400.0
+            ):
+                removed.append((stat.st_size, path))
+            else:
+                survivors.append((stat.st_mtime, stat.st_size, path))
+        if max_bytes is not None:
+            survivors.sort()  # oldest mtime first
+            total = sum(size for _, size, _ in survivors)
+            while survivors and total > max_bytes:
+                _, size, path = survivors.pop(0)
+                removed.append((size, path))
+                total -= size
+        for _, path in removed:
+            try:
+                path.unlink()
+            except OSError:
+                pass
+        self._prune_empty_shards()
+        return GCReport(
+            scanned_entries=len(files),
+            removed_entries=len(removed),
+            removed_bytes=sum(size for size, _ in removed),
+            kept_entries=len(survivors),
+            kept_bytes=sum(size for _, size, _ in survivors),
+        )
+
+    def _prune_empty_shards(self) -> None:
+        for shard in self.root.glob("*"):
+            if shard.is_dir():
+                try:
+                    shard.rmdir()
+                except OSError:
+                    pass  # non-empty
+
+    def clear(self) -> int:
+        files = self._entry_files()
+        for path in files:
+            path.unlink()
+        self._prune_empty_shards()
+        return len(files)
+
+    def close(self) -> None:
+        pass

@@ -1,0 +1,306 @@
+"""Single-file SQLite pack store for very large campaigns.
+
+One ``entries`` table holds every content-addressed entry as its
+canonical JSON text (the same bytes :class:`LocalDirStore` would write
+to a file), plus the byte count and an explicit LRU timestamp::
+
+    entries(key TEXT PRIMARY KEY, kind TEXT, entry TEXT,
+            nbytes INTEGER, mtime REAL)
+
+The database runs in WAL mode with a generous busy timeout, so several
+campaign shards on one host can write the same pack concurrently —
+writers of the same key race to store identical canonical bytes,
+exactly like the directory store's atomic renames.  A 10k+ entry
+campaign costs one inode instead of 10k, and the batch operations
+(:meth:`get_payload_many` / :meth:`put_payload_many`) collapse a whole
+engine batch into one indexed query / one transaction.
+
+Packs are also the transport format for sharded campaigns: ``python -m
+repro cache export pack.sqlite`` bundles a shard's results into one
+file to ship between hosts, and ``cache merge`` unpacks it by content
+key on the other side.
+"""
+
+from __future__ import annotations
+
+import json
+import sqlite3
+import time
+from pathlib import Path
+from typing import Iterable, Iterator
+
+from .base import (
+    SCHEMA_VERSION,
+    CacheStats,
+    GCReport,
+    RawEntry,
+    chunked,
+    encode_entry,
+    entry_is_unreachable,
+)
+
+_SCHEMA_SQL = """
+CREATE TABLE IF NOT EXISTS entries (
+    key    TEXT PRIMARY KEY,
+    kind   TEXT NOT NULL,
+    entry  TEXT NOT NULL,
+    nbytes INTEGER NOT NULL,
+    mtime  REAL NOT NULL
+)
+"""
+
+
+class SqlitePackStore:
+    """Content-addressed JSON store packed into one SQLite file."""
+
+    def __init__(self, path: Path | str):
+        self.path = Path(path)
+        self._conn: sqlite3.Connection | None = None
+
+    @property
+    def location(self) -> str:
+        return str(self.path)
+
+    def __repr__(self) -> str:
+        return f"SqlitePackStore({str(self.path)!r})"
+
+    def _connect(self) -> sqlite3.Connection:
+        if self._conn is None:
+            self.path.parent.mkdir(parents=True, exist_ok=True)
+            conn = sqlite3.connect(self.path, timeout=30.0)
+            # Must precede table creation to take effect on a new file;
+            # lets gc hand freed pages back without a full VACUUM (which
+            # needs exclusive access and would block concurrent shard
+            # writers — see incremental_vacuum in _reclaim_pages).
+            conn.execute("PRAGMA auto_vacuum=INCREMENTAL")
+            conn.execute("PRAGMA journal_mode=WAL")
+            conn.execute("PRAGMA synchronous=NORMAL")
+            conn.execute(_SCHEMA_SQL)
+            conn.commit()
+            self._conn = conn
+        return self._conn
+
+    def _reclaim_pages(self, conn: sqlite3.Connection) -> None:
+        """Give deleted entries' pages back to the filesystem.
+
+        ``PRAGMA incremental_vacuum`` frees pages inside an ordinary
+        write transaction (WAL-safe, no exclusive lock), so auto-GC can
+        run while other shard writers hold the pack open; on packs
+        created without ``auto_vacuum`` it is a harmless no-op and the
+        pages are simply reused by later inserts.
+        """
+        conn.execute("PRAGMA incremental_vacuum")
+        conn.commit()
+
+    def close(self) -> None:
+        if self._conn is not None:
+            self._conn.close()
+            self._conn = None
+
+    def __del__(self):  # pragma: no cover - GC timing dependent
+        try:
+            self.close()
+        except Exception:
+            pass
+
+    # -- payloads -----------------------------------------------------------
+
+    @staticmethod
+    def _check(text: str, kind: str) -> dict | None:
+        """Decode + schema-check one entry text; ``None`` is a miss."""
+        try:
+            entry = json.loads(text)
+        except ValueError:
+            return None
+        result = entry.get("result")
+        if (
+            entry.get("schema") != SCHEMA_VERSION
+            or entry.get("kind") != kind
+            or result is None
+        ):
+            return None
+        return result
+
+    def get_payload(self, key: str, kind: str) -> dict | None:
+        found = self.get_payload_many([key], kind)
+        return found.get(key)
+
+    def get_payload_many(self, keys: Iterable[str], kind: str) -> dict[str, dict]:
+        wanted = list(dict.fromkeys(keys))
+        if not wanted:
+            return {}
+        conn = self._connect()
+        found: dict[str, dict] = {}
+        now = time.time()
+        for chunk in chunked(wanted):
+            marks = ",".join("?" * len(chunk))
+            query = f"SELECT key, entry FROM entries WHERE key IN ({marks})"
+            rows = conn.execute(query, chunk).fetchall()
+            hits = []
+            for key, text in rows:
+                payload = self._check(text, kind)
+                if payload is not None:
+                    found[key] = payload
+                    hits.append(key)
+            if hits:
+                # Touch on read: mtime order is the LRU order gc() evicts in.
+                marks = ",".join("?" * len(hits))
+                conn.execute(
+                    f"UPDATE entries SET mtime = ? WHERE key IN ({marks})",
+                    [now, *hits],
+                )
+        conn.commit()
+        return found
+
+    def put_payload(
+        self, key: str, kind: str, result: dict, spec: dict | None = None
+    ) -> int:
+        return self.put_payload_many([(key, kind, result, spec)])
+
+    def put_payload_many(
+        self, items: Iterable[tuple[str, str, dict, dict | None]]
+    ) -> int:
+        rows = []
+        now = time.time()
+        written = 0
+        for key, kind, result, spec in items:
+            entry = {"schema": SCHEMA_VERSION, "kind": kind, "result": result}
+            if spec is not None:
+                entry["spec"] = spec
+            blob = encode_entry(entry)
+            written += len(blob)
+            rows.append((key, kind, blob, len(blob), now))
+        if rows:
+            conn = self._connect()
+            conn.executemany(
+                "INSERT OR REPLACE INTO entries VALUES (?, ?, ?, ?, ?)", rows
+            )
+            conn.commit()
+        return written
+
+    # -- raw entries --------------------------------------------------------
+
+    def get_entry(self, key: str) -> RawEntry | None:
+        return self.get_entry_many([key]).get(key)
+
+    def get_entry_many(self, keys: Iterable[str]) -> dict[str, RawEntry]:
+        wanted = list(dict.fromkeys(keys))
+        found: dict[str, RawEntry] = {}
+        if not wanted:
+            return found
+        conn = self._connect()
+        for chunk in chunked(wanted):
+            marks = ",".join("?" * len(chunk))
+            query = f"SELECT key, entry, mtime FROM entries WHERE key IN ({marks})"
+            for key, text, mtime in conn.execute(query, chunk):
+                try:
+                    entry = json.loads(text)
+                except ValueError:
+                    continue
+                if isinstance(entry, dict):
+                    found[key] = RawEntry(key=key, entry=entry, mtime=mtime)
+        return found
+
+    def put_entry(self, key: str, entry: dict, mtime: float | None = None) -> int:
+        raw = RawEntry(
+            key=key, entry=entry, mtime=time.time() if mtime is None else mtime
+        )
+        return self.put_entry_many([raw])
+
+    def put_entry_many(self, entries: Iterable[RawEntry]) -> int:
+        rows = []
+        written = 0
+        for raw in entries:
+            blob = encode_entry(raw.entry)
+            written += len(blob)
+            kind = str(raw.entry.get("kind", ""))
+            rows.append((raw.key, kind, blob, len(blob), raw.mtime))
+        if rows:
+            conn = self._connect()
+            conn.executemany(
+                "INSERT OR REPLACE INTO entries VALUES (?, ?, ?, ?, ?)", rows
+            )
+            conn.commit()
+        return written
+
+    # -- maintenance --------------------------------------------------------
+
+    def iter_keys(self) -> Iterator[str]:
+        conn = self._connect()
+        for (key,) in conn.execute("SELECT key FROM entries ORDER BY key").fetchall():
+            yield key
+
+    def size_bytes(self) -> int:
+        conn = self._connect()
+        query = "SELECT COALESCE(SUM(nbytes), 0) FROM entries"
+        (size,) = conn.execute(query).fetchone()
+        return size
+
+    def stats(self) -> CacheStats:
+        conn = self._connect()
+        totals = "SELECT COUNT(*), COALESCE(SUM(nbytes), 0) FROM entries"
+        entries, size = conn.execute(totals).fetchone()
+        reclaimable_entries = 0
+        reclaimable_bytes = 0
+        for text, nbytes in conn.execute("SELECT entry, nbytes FROM entries"):
+            if entry_is_unreachable(text):
+                reclaimable_entries += 1
+                reclaimable_bytes += nbytes
+        return CacheStats(
+            entries=entries,
+            size_bytes=size,
+            hits=0,
+            misses=0,
+            reclaimable_entries=reclaimable_entries,
+            reclaimable_bytes=reclaimable_bytes,
+        )
+
+    def gc(
+        self,
+        max_bytes: int | None = None,
+        max_age_days: float | None = None,
+        now: float | None = None,
+    ) -> GCReport:
+        now = time.time() if now is None else now
+        conn = self._connect()
+        survivors: list[tuple[float, int, str]] = []  # (mtime, nbytes, key)
+        removed: list[tuple[int, str]] = []
+        scanned = 0
+        for key, text, nbytes, mtime in conn.execute(
+            "SELECT key, entry, nbytes, mtime FROM entries"
+        ):
+            scanned += 1
+            if entry_is_unreachable(text):
+                removed.append((nbytes, key))
+            elif max_age_days is not None and now - mtime > max_age_days * 86400.0:
+                removed.append((nbytes, key))
+            else:
+                survivors.append((mtime, nbytes, key))
+        if max_bytes is not None:
+            survivors.sort()  # oldest mtime first
+            total = sum(nbytes for _, nbytes, _ in survivors)
+            while survivors and total > max_bytes:
+                _, nbytes, key = survivors.pop(0)
+                removed.append((nbytes, key))
+                total -= nbytes
+        if removed:
+            for chunk in chunked([key for _, key in removed]):
+                marks = ",".join("?" * len(chunk))
+                conn.execute(f"DELETE FROM entries WHERE key IN ({marks})", chunk)
+            conn.commit()
+            self._reclaim_pages(conn)
+        return GCReport(
+            scanned_entries=scanned,
+            removed_entries=len(removed),
+            removed_bytes=sum(nbytes for nbytes, _ in removed),
+            kept_entries=len(survivors),
+            kept_bytes=sum(nbytes for _, nbytes, _ in survivors),
+        )
+
+    def clear(self) -> int:
+        conn = self._connect()
+        (count,) = conn.execute("SELECT COUNT(*) FROM entries").fetchone()
+        conn.execute("DELETE FROM entries")
+        conn.commit()
+        self._reclaim_pages(conn)
+        return count

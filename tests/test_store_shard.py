@@ -1,0 +1,441 @@
+"""Pluggable result stores, shard partitioning, merge, auto-GC, pool lifecycle."""
+
+import itertools
+import json
+import logging
+import random
+import time
+
+import pytest
+
+from repro.engine import (
+    ExperimentEngine,
+    ExperimentSpec,
+    LocalDirStore,
+    ResultCache,
+    SqlitePackStore,
+    merge_stores,
+    open_backend,
+    run_compare,
+    run_sweep,
+    shard_for_key,
+    shard_specs,
+    workload_compare,
+)
+from repro.engine.spec import iter_spec_keys
+from repro.engine.store import SCHEMA_VERSION, encode_entry
+
+#: Tiny but shape-preserving windows for the sn54/cm54 class.
+FAST = dict(warmup=100, measure=200, drain=300)
+
+LOADS = [0.02, 0.05, 0.08, 0.12, 0.2, 0.3]
+
+
+def fast_spec(load=0.05, **overrides) -> ExperimentSpec:
+    kw = dict(topology="sn54", pattern="RND", load=load, **FAST)
+    kw.update(overrides)
+    return ExperimentSpec.synthetic(
+        kw.pop("topology"), kw.pop("pattern"), kw.pop("load"), **kw
+    )
+
+
+def spec_grid(n=24) -> list[ExperimentSpec]:
+    return [fast_spec(load=0.01 + 0.005 * i) for i in range(n)]
+
+
+@pytest.fixture(params=["dir", "sqlite"])
+def backend(request, tmp_path):
+    if request.param == "dir":
+        return LocalDirStore(tmp_path / "store")
+    return SqlitePackStore(tmp_path / "store.sqlite")
+
+
+def set_mtime(backend, key, mtime):
+    """Backdate one entry's LRU timestamp on either backend."""
+    raw = backend.get_entry(key)
+    backend.put_entry(key, raw.entry, mtime=mtime)
+
+
+class TestShardPartitioning:
+    @pytest.mark.parametrize("count", [1, 2, 3, 5, 8])
+    def test_disjoint_and_covering(self, count):
+        specs = spec_grid()
+        shards = [shard_specs(specs, i, count) for i in range(count)]
+        keys = [set(iter_spec_keys(shard)) for shard in shards]
+        assert set().union(*keys) == set(iter_spec_keys(specs))
+        for a, b in itertools.combinations(keys, 2):
+            assert not a & b
+        assert sum(len(shard) for shard in shards) == len(specs)
+
+    def test_stable_under_permutation(self):
+        specs = spec_grid()
+        shuffled = specs[:]
+        random.Random(7).shuffle(shuffled)
+        for index in range(3):
+            original = set(iter_spec_keys(shard_specs(specs, index, 3)))
+            permuted = set(iter_spec_keys(shard_specs(shuffled, index, 3)))
+            assert original == permuted
+
+    def test_key_sharding_is_content_based(self):
+        spec = fast_spec()
+        key = spec.content_hash()
+        assert spec.shard_of(4) == shard_for_key(key, 4)
+        assert shard_for_key(key, 1) == 0
+
+    def test_invalid_shards_rejected(self):
+        specs = spec_grid(4)
+        with pytest.raises(ValueError):
+            shard_specs(specs, 2, 2)
+        with pytest.raises(ValueError):
+            shard_specs(specs, -1, 2)
+        with pytest.raises(ValueError):
+            shard_for_key("ab", 0)
+
+
+class TestBackendEquivalence:
+    """Both backends expose identical store semantics."""
+
+    def test_payload_round_trip_and_kind_check(self, backend):
+        backend.put_payload("ab" * 32, "sim", {"x": 1}, spec={"spec_version": 1})
+        assert backend.get_payload("ab" * 32, "sim") == {"x": 1}
+        assert backend.get_payload("ab" * 32, "other") is None
+        assert backend.get_payload("cd" * 32, "sim") is None
+
+    def test_iter_keys_sorted(self, backend):
+        keys = ["ff" * 32, "aa" * 32, "0b" * 32]
+        for key in keys:
+            backend.put_payload(key, "sim", {"k": key})
+        assert list(backend.iter_keys()) == sorted(keys)
+
+    def test_stats_counts_entries_and_bytes(self, backend):
+        assert backend.stats().entries == 0
+        backend.put_payload("aa" * 32, "sim", {"x": 1})
+        backend.put_payload("bb" * 32, "sim", {"x": 2})
+        stats = backend.stats()
+        assert stats.entries == 2
+        assert stats.size_bytes > 0
+        assert stats.reclaimable_entries == 0
+
+    def test_clear(self, backend):
+        backend.put_payload("aa" * 32, "sim", {"x": 1})
+        assert backend.clear() == 1
+        assert backend.stats().entries == 0
+
+    def test_get_many_returns_only_hits(self, backend):
+        backend.put_payload("aa" * 32, "sim", {"x": 1})
+        backend.put_payload("bb" * 32, "other", {"x": 2})
+        found = backend.get_payload_many(["aa" * 32, "bb" * 32, "cc" * 32], "sim")
+        assert found == {"aa" * 32: {"x": 1}}
+
+    def test_gc_unreachable_schema(self, backend):
+        backend.put_payload("aa" * 32, "sim", {"x": 1})
+        raw = backend.get_entry("aa" * 32)
+        entry = dict(raw.entry)
+        entry["schema"] = SCHEMA_VERSION + 1
+        backend.put_entry("aa" * 32, entry)
+        backend.put_payload("bb" * 32, "sim", {"x": 2})
+        stats = backend.stats()
+        assert stats.reclaimable_entries == 1
+        report = backend.gc()
+        assert report.removed_entries == 1
+        assert backend.get_payload("bb" * 32, "sim") is not None
+
+    def test_gc_lru_order_and_max_bytes(self, backend):
+        now = time.time()
+        for i, key in enumerate(["aa" * 32, "bb" * 32, "cc" * 32]):
+            backend.put_payload(key, "sim", {"x": i})
+            set_mtime(backend, key, now - 3600 + i)
+        keep = backend.get_entry("cc" * 32)
+        keep_bytes = len(encode_entry(keep.entry))
+        report = backend.gc(max_bytes=keep_bytes, now=now)
+        assert report.removed_entries == 2
+        assert backend.get_payload("cc" * 32, "sim") is not None
+        assert backend.get_payload("aa" * 32, "sim") is None
+
+    def test_gc_max_age(self, backend):
+        now = time.time()
+        backend.put_payload("aa" * 32, "sim", {"x": 1})
+        backend.put_payload("bb" * 32, "sim", {"x": 2})
+        set_mtime(backend, "aa" * 32, now - 10 * 86400)
+        report = backend.gc(max_age_days=7, now=now)
+        assert report.removed_entries == 1
+        assert backend.get_payload("bb" * 32, "sim") is not None
+        assert backend.get_payload("aa" * 32, "sim") is None
+
+    def test_hit_refreshes_lru_position(self, backend):
+        now = time.time()
+        backend.put_payload("aa" * 32, "sim", {"x": 1})
+        set_mtime(backend, "aa" * 32, now - 10 * 86400)
+        assert backend.get_payload("aa" * 32, "sim") is not None
+        assert backend.get_entry("aa" * 32).mtime > now - 86400
+
+    def test_size_bytes_matches_stats(self, backend):
+        assert backend.size_bytes() == 0
+        backend.put_payload("aa" * 32, "sim", {"x": 1})
+        backend.put_payload("bb" * 32, "sim", {"x": 2})
+        assert backend.size_bytes() == backend.stats().size_bytes
+
+    def test_engine_round_trip(self, backend, tmp_path):
+        cache = ResultCache(backend=backend)
+        engine = ExperimentEngine(cache=cache)
+        specs = [fast_spec(), fast_spec(load=0.08)]
+        first = engine.run(specs)
+        assert engine.last_stats.executed == 2
+        again = engine.run(specs)
+        assert engine.last_stats.executed == 0
+        assert engine.last_stats.cache_hits == 2
+        for a, b in zip(first, again):
+            assert a.avg_latency == b.avg_latency
+            assert a.latencies == b.latencies
+
+
+class TestBackendCrossEquivalence:
+    def test_same_keys_and_payloads_via_both_backends(self, tmp_path):
+        """One campaign written through each backend stores identical
+        canonical entries under identical keys."""
+        specs = [fast_spec(), fast_spec(load=0.08)]
+        local = LocalDirStore(tmp_path / "dir")
+        pack = SqlitePackStore(tmp_path / "pack.sqlite")
+        ExperimentEngine(cache=ResultCache(backend=local)).run(specs)
+        ExperimentEngine(cache=ResultCache(backend=pack)).run(specs)
+        assert list(local.iter_keys()) == list(pack.iter_keys())
+        for key in local.iter_keys():
+            assert (
+                local.get_entry(key).encoded() == pack.get_entry(key).encoded()
+            )
+
+    def test_open_backend_dispatch(self, tmp_path, monkeypatch):
+        assert isinstance(open_backend(tmp_path / "plain"), LocalDirStore)
+        assert isinstance(open_backend(tmp_path / "pack.sqlite"), SqlitePackStore)
+        assert isinstance(open_backend(tmp_path / "pack.db"), SqlitePackStore)
+        assert isinstance(
+            open_backend(f"sqlite:{tmp_path}/url"), SqlitePackStore
+        )
+        assert isinstance(open_backend(f"dir:{tmp_path}/x.sqlite"), LocalDirStore)
+        monkeypatch.setenv("REPRO_CACHE_BACKEND", "sqlite")
+        packed = open_backend(tmp_path / "plain")
+        assert isinstance(packed, SqlitePackStore)
+        assert packed.path.name == "results.sqlite"
+        monkeypatch.setenv("REPRO_CACHE_BACKEND", "bogus")
+        with pytest.raises(ValueError):
+            open_backend(tmp_path / "plain")
+
+    def test_two_connections_share_one_pack(self, tmp_path):
+        """Concurrent writers on one host: separate connections to the
+        same pack see each other's entries, and gc (incremental vacuum,
+        no exclusive lock) runs while the other connection stays open."""
+        a = SqlitePackStore(tmp_path / "pack.sqlite")
+        b = SqlitePackStore(tmp_path / "pack.sqlite")
+        a.put_payload("aa" * 32, "sim", {"x": 1})
+        b.put_payload("bb" * 32, "sim", {"x": 2})
+        assert list(a.iter_keys()) == list(b.iter_keys())
+        report = a.gc(max_bytes=0)
+        assert report.removed_entries == 2
+        assert b.stats().entries == 0
+
+    def test_result_cache_path_still_means_directory(self, tmp_path):
+        cache = ResultCache(tmp_path / "legacy")
+        assert isinstance(cache.backend, LocalDirStore)
+        spec = fast_spec()
+        ExperimentEngine(cache=cache).run([spec])
+        assert cache.path_for(spec).is_file()
+        packed = ResultCache(tmp_path / "pack.sqlite")
+        with pytest.raises(NotImplementedError):
+            packed.path_for(spec)
+
+
+class TestMerge:
+    def fill(self, backend, loads):
+        cache = ResultCache(backend=backend)
+        ExperimentEngine(cache=cache).run([fast_spec(load=x) for x in loads])
+        return cache
+
+    def test_merge_copies_and_skips(self, tmp_path):
+        a = LocalDirStore(tmp_path / "a")
+        b = SqlitePackStore(tmp_path / "b.sqlite")
+        self.fill(a, [0.02, 0.05])
+        self.fill(b, [0.05, 0.08])  # 0.05 overlaps, byte-identical
+        report = merge_stores(b, a)
+        assert report.copied == 1
+        assert report.skipped == 1
+        assert report.conflicts == 0
+        assert b.stats().entries == 3
+
+    def test_merge_counts_conflicts_and_keeps_ours(self, tmp_path):
+        a = LocalDirStore(tmp_path / "a")
+        b = LocalDirStore(tmp_path / "b")
+        self.fill(a, [0.02])
+        self.fill(b, [0.02])
+        (key,) = a.iter_keys()
+        ours = b.get_entry(key).entry
+        tampered = json.loads(json.dumps(ours))
+        tampered["result"]["avg_latency"] = -1.0
+        a.put_entry(key, tampered)
+        report = merge_stores(b, a)
+        assert report.conflicts == 1
+        assert report.copied == 0
+        assert b.get_entry(key).entry == ours  # destination wins
+
+    def test_merge_preserves_lru_timestamps(self, tmp_path):
+        a = LocalDirStore(tmp_path / "a")
+        b = SqlitePackStore(tmp_path / "b.sqlite")
+        self.fill(a, [0.02])
+        (key,) = a.iter_keys()
+        old = time.time() - 5 * 86400
+        set_mtime(a, key, old)
+        merge_stores(b, a)
+        assert abs(b.get_entry(key).mtime - old) < 2.0
+
+
+class TestShardedCampaignEndToEnd:
+    def test_merged_shards_make_rerun_pure_cache_read(self, tmp_path):
+        """The acceptance criterion: two --shard i/2 runs into separate
+        stores, merged, make the full unsharded rerun simulate nothing."""
+        shard_stats = []
+        for index in range(2):
+            with ExperimentEngine(
+                cache=ResultCache(tmp_path / f"shard{index}")
+            ) as engine:
+                run_sweep(
+                    engine, "sn54", "RND", LOADS, **FAST, shard=(index, 2)
+                )
+                shard_stats.append(engine.total_stats.snapshot())
+        executed = [stats.executed for stats in shard_stats]
+        assert sum(executed) == len(LOADS)  # disjoint + covering
+
+        merged = ResultCache(tmp_path / "merged.sqlite")
+        for index in range(2):
+            merge_stores(merged.backend, LocalDirStore(tmp_path / f"shard{index}"))
+
+        with ExperimentEngine(cache=merged, max_workers=2) as engine:
+            curve = run_sweep(engine, "sn54", "RND", LOADS, **FAST)
+            assert engine.total_stats.executed == 0
+            assert not engine.pool_active
+        assert [p.load for p in curve.points] == LOADS
+
+    def test_sharded_equals_unsharded_point_for_point(self, tmp_path):
+        unsharded = run_sweep(
+            ExperimentEngine(cache=ResultCache(tmp_path / "ref")),
+            "sn54",
+            "RND",
+            LOADS,
+            **FAST,
+            stop_after_saturation=False,
+        )
+        by_load = {}
+        for index in range(3):
+            partial = run_sweep(
+                ExperimentEngine(cache=ResultCache(tmp_path / f"s{index}")),
+                "sn54",
+                "RND",
+                LOADS,
+                **FAST,
+                shard=(index, 3),
+            )
+            for point in partial.points:
+                by_load[point.load] = point
+        assert [by_load[p.load] for p in unsharded.points] == unsharded.points
+
+    def test_sharded_compare_and_workloads(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        engine = ExperimentEngine(cache=cache)
+        topos = {"sn54": "sn54", "cm54": "cm54"}
+        curves0 = run_compare(engine, topos, "RND", LOADS[:3], **FAST, shard=(0, 2))
+        curves1 = run_compare(engine, topos, "RND", LOADS[:3], **FAST, shard=(1, 2))
+        points = sum(
+            len(curves[label].points)
+            for curves in (curves0, curves1)
+            for label in topos
+        )
+        assert points == len(topos) * 3
+        table0 = workload_compare(engine, topos, ["barnes", "fft"], **FAST,
+                                  shard=(0, 2))
+        table1 = workload_compare(engine, topos, ["barnes", "fft"], **FAST,
+                                  shard=(1, 2))
+        cells0 = {(n, b) for n in table0 for b in table0[n]}
+        cells1 = {(n, b) for n in table1 for b in table1[n]}
+        assert not cells0 & cells1
+        assert len(cells0 | cells1) == 4
+        full = workload_compare(engine, topos, ["barnes", "fft"], **FAST)
+        assert engine.last_stats.executed == 0  # shards covered the grid
+        assert all(set(full[label]) == {"barnes", "fft"} for label in topos)
+
+
+class TestAutoGC:
+    def test_put_past_threshold_triggers_lru_gc(self, tmp_path, caplog):
+        cache = ResultCache(tmp_path, max_bytes=1)  # any put overflows
+        engine = ExperimentEngine(cache=cache)
+        with caplog.at_level(logging.INFO, logger="repro.engine.store"):
+            engine.run([fast_spec()])
+        assert any("auto-gc" in record.message for record in caplog.records)
+        assert cache.stats().entries == 0  # budget of 1 byte keeps nothing
+
+    def test_threshold_keeps_newest_entries(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        engine = ExperimentEngine(cache=cache)
+        engine.run([fast_spec()])
+        entry_bytes = cache.stats().size_bytes
+        # Budget for ~2 entries; running 4 specs one at a time must evict
+        # the oldest as each new one lands.
+        cache.max_bytes = int(entry_bytes * 2.5)
+        specs = [fast_spec(load=0.02 + 0.01 * i) for i in range(4)]
+        for spec in specs:
+            engine.run([spec])
+            time.sleep(0.02)  # keep mtime order unambiguous
+        assert cache.stats().size_bytes <= cache.max_bytes
+        assert cache.get(specs[-1]) is not None
+
+    def test_env_var_sets_threshold(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_CACHE_MAX_BYTES", "12345")
+        assert ResultCache(tmp_path).max_bytes == 12345
+        monkeypatch.setenv("REPRO_CACHE_MAX_BYTES", "junk")
+        assert ResultCache(tmp_path).max_bytes is None
+        monkeypatch.delenv("REPRO_CACHE_MAX_BYTES")
+        assert ResultCache(tmp_path).max_bytes is None
+
+
+class TestRunnerDurability:
+    def test_partial_results_survive_a_failing_batch(self, tmp_path):
+        """Results that finished before a miss raised are flushed to the
+        store — an interrupted shard never re-simulates paid-for work."""
+        from repro.engine import topology_fingerprint
+        from repro.topos import make_network
+
+        cache = ResultCache(tmp_path)
+        engine = ExperimentEngine(cache=cache)
+        good = fast_spec()
+        bad = fast_spec(topology="fp:" + topology_fingerprint(make_network("cm54")))
+        with pytest.raises(LookupError):  # no topology supplied for the fingerprint
+            engine.run([good, bad])
+        assert cache.get(good) is not None
+
+
+class TestPoolLifecycle:
+    def test_pure_cache_run_never_starts_pool(self, tmp_path, monkeypatch):
+        cache = ResultCache(tmp_path)
+        specs = [fast_spec(load=x) for x in (0.02, 0.05, 0.08)]
+        ExperimentEngine(cache=cache).run(specs)
+
+        import repro.engine.runner as runner_module
+
+        def poisoned(*args, **kwargs):
+            raise AssertionError("pool started on a pure cache read")
+
+        monkeypatch.setattr(runner_module, "ProcessPoolExecutor", poisoned)
+        with ExperimentEngine(cache=cache, max_workers=4) as engine:
+            results = engine.run(specs)
+            assert engine.last_stats.cache_hits == len(specs)
+            assert not engine.pool_active
+        assert len(results) == len(specs)
+
+    def test_close_is_idempotent_and_engine_reusable(self, tmp_path):
+        engine = ExperimentEngine(cache=ResultCache(tmp_path), max_workers=2)
+        specs = [fast_spec(load=x) for x in (0.02, 0.05, 0.08)]
+        engine.run(specs)
+        assert engine.pool_active  # misses went parallel
+        engine.close()
+        engine.close()
+        assert not engine.pool_active
+        engine.run(specs)  # cache hits; must not resurrect the pool
+        assert not engine.pool_active
+        engine.close()
