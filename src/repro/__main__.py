@@ -19,7 +19,11 @@ content-addressed on-disk result cache):
   clear`` / ``cache gc [--max-bytes N] [--max-age DAYS]`` (LRU eviction
   by last use; unreachable entries always go first) / ``cache export
   PACK`` / ``cache merge STORE...`` (move entries between stores by
-  content key).
+  content key; remote ``http://`` stores are valid on either side).
+* ``serve``   — share a result store over HTTP: ``python -m repro serve
+  --store results.sqlite --port 8123 [--token T]`` turns any local
+  store into a rendezvous point that every shard host can use as its
+  ``--cache-dir`` (see :mod:`repro.engine.store.http`).
 * ``perf``    — simulator-core timing harness: ``python -m repro perf
   [--quick] [--check]`` reports simulated cycles/sec against the
   committed ``benchmarks/BENCH_sim_core.json`` baseline and the pre-
@@ -29,10 +33,14 @@ Repeating a ``sweep``/``compare`` with identical parameters performs
 zero new simulations — every point is served from the cache.  Stores
 are pluggable: a ``--cache-dir`` ending in ``.sqlite``/``.db``/``.pack``
 (or ``REPRO_CACHE_BACKEND=sqlite``) packs the whole store into one
-WAL-mode SQLite file instead of a JSON directory tree.
+WAL-mode SQLite file instead of a JSON directory tree, and an
+``http://host:port`` value talks to a ``repro serve`` endpoint
+(``REPRO_CACHE_TOKEN`` supplies the bearer token when required).
 
 Campaigns too large for one machine split with ``--shard INDEX/COUNT``
-(disjoint, covering, stable under reordering) and rendezvous by merge::
+(disjoint, covering, stable under reordering; ``--shard-balance cost``
+weighs points by predicted work instead of count) and rendezvous by
+merge::
 
     host-a$ python -m repro sweep sn200 --loads 0.02:0.5:0.02 \\
                 --shard 0/2 --cache-dir shard-a.sqlite --workers 8
@@ -42,6 +50,16 @@ Campaigns too large for one machine split with ``--shard INDEX/COUNT``
     host-a$ python -m repro cache merge shard-a.sqlite shard-b.sqlite
     host-a$ python -m repro sweep sn200 --loads 0.02:0.5:0.02
     # ^ assembles the full curves as a pure cache read (0 simulations)
+
+or over the network, with no file shipping::
+
+    host-c$ python -m repro serve --store results.sqlite --port 8123
+    host-a$ python -m repro sweep sn200 --loads 0.02:0.5:0.02 \\
+                --shard 0/2 --cache-dir http://host-c:8123 --workers 8
+    host-b$ python -m repro sweep sn200 --loads 0.02:0.5:0.02 \\
+                --shard 1/2 --cache-dir http://host-c:8123 --workers 8
+    any   $ python -m repro sweep sn200 --loads 0.02:0.5:0.02 \\
+                --cache-dir http://host-c:8123   # pure cache read
 """
 
 from __future__ import annotations
@@ -51,13 +69,19 @@ import json
 import sys
 
 from .analysis import format_table
-from .engine import ExperimentEngine, ResultCache, run_compare, run_sweep
+from .engine import (
+    ExperimentEngine,
+    RemoteStoreError,
+    ResultCache,
+    run_compare,
+    run_sweep,
+)
 from .power import TECH_45NM, network_area, static_power
 from .sim import BUFFERING_STRATEGIES, NoCSimulator, SimConfig
 from .topos import catalog_symbols
 from .traffic import SyntheticSource, workload_names
 
-COMMANDS = ("info", "sweep", "compare", "workloads", "cache", "perf")
+COMMANDS = ("info", "sweep", "compare", "workloads", "cache", "serve", "perf")
 
 
 def parse_loads(text: str) -> list[float]:
@@ -133,16 +157,24 @@ def _add_engine_options(parser: argparse.ArgumentParser) -> None:
                         help="disable the on-disk result cache")
     parser.add_argument("--cache-dir", default=None,
                         help="result store: a cache directory (default "
-                             ".repro_cache), a .sqlite/.db/.pack file, or "
-                             "a sqlite:/dir: URL")
+                             ".repro_cache), a .sqlite/.db/.pack file, a "
+                             "sqlite:/dir: URL, or an http:// 'repro "
+                             "serve' endpoint")
     parser.add_argument("--shard", type=parse_shard, default=None,
                         metavar="INDEX/COUNT",
                         help="run only this shard of the campaign grid "
                              "(e.g. 0/2; partitioned by spec content hash "
                              "— disjoint, covering, order-independent); "
-                             "merge the shard stores with 'cache merge', "
-                             "then rerun unsharded to assemble results "
-                             "from cache")
+                             "merge the shard stores with 'cache merge' "
+                             "(or point every shard at one 'repro serve' "
+                             "store), then rerun unsharded to assemble "
+                             "results from cache")
+    parser.add_argument("--shard-balance", choices=("hash", "cost"),
+                        default="hash",
+                        help="shard partition: 'hash' for even point "
+                             "counts (default), 'cost' to balance "
+                             "predicted work (load x network size x "
+                             "simulated cycles) across shards")
     parser.add_argument("--quiet", action="store_true",
                         help="suppress per-point progress on stderr")
 
@@ -242,6 +274,31 @@ def build_parser() -> argparse.ArgumentParser:
     cache.add_argument("--max-age", type=float, default=None, metavar="DAYS",
                        help="gc: evict entries untouched for this many days")
 
+    serve = sub.add_parser(
+        "serve",
+        help="share a result store over HTTP (sharded-campaign rendezvous)",
+        description="Serve a local result store over the JSON/HTTP wire "
+                    "protocol so shard hosts can use it as their "
+                    "--cache-dir (http://HOST:PORT) — results rendezvous "
+                    "over the network instead of shipping pack files.  "
+                    "Stop with Ctrl-C; the store is an ordinary pack/"
+                    "directory afterwards.",
+    )
+    serve.add_argument("--store", default="store.sqlite",
+                       help="store to serve: a .sqlite/.db/.pack file "
+                            "(default store.sqlite, created on first "
+                            "write), a cache directory, or a sqlite:/dir: "
+                            "URL")
+    serve.add_argument("--host", default="127.0.0.1",
+                       help="bind address (default 127.0.0.1; use 0.0.0.0 "
+                            "to accept other hosts)")
+    serve.add_argument("--port", type=int, default=8123,
+                       help="TCP port (default 8123; 0 picks a free port)")
+    serve.add_argument("--token", default=None,
+                       help="require 'Authorization: Bearer TOKEN' on every "
+                            "request (default: REPRO_CACHE_TOKEN if set; "
+                            "clients send the same variable)")
+
     # Listed for --help only; dispatch short-circuits to repro.perf.
     sub.add_parser("perf", help="simulator-core timing harness "
                                "(see python -m repro perf --help)",
@@ -291,7 +348,7 @@ def cmd_sweep(args: argparse.Namespace) -> int:
                 config=config, packet_flits=args.packet_flits, seed=args.seed,
                 warmup=args.warmup, measure=args.measure, drain=args.drain,
                 stop_after_saturation=not args.no_stop, shard=args.shard,
-                progress=progress,
+                shard_balance=args.shard_balance, progress=progress,
             )
             curves[pattern] = curve
             stats = engine.total_stats.since(before)
@@ -349,7 +406,7 @@ def cmd_compare(args: argparse.Namespace) -> int:
                 config=config, packet_flits=args.packet_flits, seed=args.seed,
                 warmup=args.warmup, measure=args.measure, drain=args.drain,
                 stop_after_saturation=not args.no_stop, shard=args.shard,
-                progress=progress,
+                shard_balance=args.shard_balance, progress=progress,
             )
         stats = engine.total_stats
     if args.shard is None:
@@ -470,7 +527,8 @@ def _workloads_shard(args: argparse.Namespace, benches, progress) -> int:
             engine, {symbol: symbol for symbol in args.networks}, benches,
             config=config, intensity_scale=args.intensity_scale,
             seed=args.seed, warmup=args.warmup, measure=args.measure,
-            drain=args.drain, shard=args.shard, progress=progress,
+            drain=args.drain, shard=args.shard,
+            shard_balance=args.shard_balance, progress=progress,
         )
         stats = engine.total_stats
     computed = sum(len(cells) for cells in table.values())
@@ -493,6 +551,30 @@ def _workloads_shard(args: argparse.Namespace, benches, progress) -> int:
     return 0
 
 
+def cmd_serve(args: argparse.Namespace) -> int:
+    import os
+
+    from .engine import RemoteStore, StoreServer, open_backend
+    from .engine.store import TOKEN_ENV
+
+    backend = open_backend(args.store)
+    if isinstance(backend, RemoteStore):
+        raise ValueError("serve needs a local store, not another server's URL")
+    token = args.token if args.token is not None else os.environ.get(TOKEN_ENV)
+    server = StoreServer(backend, host=args.host, port=args.port,
+                         token=token or None)
+    auth = "token required" if token else "no auth"
+    print(f"serving {backend.location} at {server.url} ({auth}); "
+          "Ctrl-C to stop", file=sys.stderr)
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:
+        pass
+    finally:
+        server.close()
+    return 0
+
+
 def cmd_cache(args: argparse.Namespace) -> int:
     cache = ResultCache(args.cache_dir)
     if args.action in ("export", "merge"):
@@ -501,14 +583,14 @@ def cmd_cache(args: argparse.Namespace) -> int:
         raise ValueError(f"cache {args.action} takes no STORE arguments")
     if args.action == "clear":
         removed = cache.clear()
-        print(f"removed {removed} cached results from {cache.root}")
+        print(f"removed {removed} cached results from {cache.location}")
         return 0
     if args.action == "gc":
         report = cache.gc(max_bytes=args.max_bytes, max_age_days=args.max_age)
         print(format_table(
             ["property", "value"],
             [
-                ["store", str(cache.root)],
+                ["store", cache.location],
                 ["scanned", report.scanned_entries],
                 ["removed", report.removed_entries],
                 ["removed [MB]", round(report.removed_bytes / 1e6, 2)],
@@ -522,7 +604,7 @@ def cmd_cache(args: argparse.Namespace) -> int:
     print(format_table(
         ["property", "value"],
         [
-            ["store", str(cache.root)],
+            ["store", cache.location],
             ["backend", type(cache.backend).__name__],
             ["entries", stats.entries],
             ["size [MB]", round(stats.size_mb, 2)],
@@ -544,7 +626,7 @@ def _cache_transfer(cache: ResultCache, args: argparse.Namespace) -> int:
             raise ValueError("cache export takes exactly one destination store")
         destination = open_backend(args.stores[0])
         report = merge_stores(destination, cache.backend)
-        print(f"exported {cache.root} -> {destination.location}: "
+        print(f"exported {cache.location} -> {destination.location}: "
               f"{report.copied} copied "
               f"({round(report.copied_bytes / 1e6, 2)} MB), "
               f"{report.skipped} already present, "
@@ -556,7 +638,7 @@ def _cache_transfer(cache: ResultCache, args: argparse.Namespace) -> int:
     for source_location in args.stores:
         source = open_backend(source_location)
         report = merge_stores(cache.backend, source)
-        print(f"merged {source.location} -> {cache.root}: "
+        print(f"merged {source.location} -> {cache.location}: "
               f"{report.copied} copied "
               f"({round(report.copied_bytes / 1e6, 2)} MB), "
               f"{report.skipped} already present, "
@@ -583,10 +665,11 @@ def main(argv: list[str]) -> int:
         "compare": cmd_compare,
         "workloads": cmd_workloads,
         "cache": cmd_cache,
+        "serve": cmd_serve,
     }[args.command]
     try:
         return handler(args)
-    except (ValueError, LookupError) as exc:
+    except (ValueError, LookupError, RemoteStoreError) as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
 

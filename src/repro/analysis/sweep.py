@@ -116,13 +116,16 @@ def sweep_loads(
     name: str | None = None,
     engine=None,
     shard: tuple[int, int] | None = None,
+    shard_balance: str = "hash",
 ) -> SweepResult:
     """Run the simulator across ``loads`` (flits/node/cycle), low to high.
 
     ``topology`` may be a live :class:`Topology` or a catalog symbol;
     ``engine`` overrides the default (env-configured) experiment engine.
     ``shard=(index, count)`` computes only this invocation's slice of a
-    distributed campaign (see :func:`repro.engine.run_compare`).
+    distributed campaign, partitioned per ``shard_balance`` — every
+    invocation slicing one campaign must use the same mode (see
+    :func:`repro.engine.run_compare`).
     """
     if routing is not None:
         if shard is not None:
@@ -152,6 +155,7 @@ def sweep_loads(
         stop_after_saturation=stop_after_saturation,
         name=name,
         shard=shard,
+        shard_balance=shard_balance,
     )
 
 

@@ -7,11 +7,14 @@ into an incremental, parallel pipeline:
   description of one simulation point with a stable content hash;
 * :mod:`~repro.engine.store` — pluggable result stores behind the
   :class:`CacheBackend` protocol: :class:`LocalDirStore` (sharded JSON
-  directory, the classic ``.repro_cache/`` layout) and
+  directory, the classic ``.repro_cache/`` layout),
   :class:`SqlitePackStore` (single WAL-mode file for 10k+ entry
-  campaigns), fronted by :class:`ResultCache` (codec, hit counters,
-  batched lookups, ``REPRO_CACHE_MAX_BYTES`` auto-GC) and mergeable by
-  content key via :func:`merge_stores`;
+  campaigns), and :class:`RemoteStore` (a JSON/HTTP client for a
+  ``python -m repro serve`` rendezvous endpoint — shard hosts share one
+  network store with no pack-file shipping), fronted by
+  :class:`ResultCache` (codec, hit counters, batched lookups,
+  ``REPRO_CACHE_MAX_BYTES`` auto-GC) and mergeable by content key via
+  :func:`merge_stores`;
 * :mod:`~repro.engine.runner` — :class:`ExperimentEngine`, a batch
   executor fanning cache misses across a process pool;
 * :mod:`~repro.engine.campaign` — sweep/compare grid builders with
@@ -35,11 +38,19 @@ or, split across two hosts and merged back together::
     host-a$ python -m repro cache merge a.sqlite b.sqlite
     host-a$ python -m repro sweep sn200   # pure cache read, 0 simulations
 
+or rendezvoused over the network, with no file shipping at all::
+
+    host-c$ python -m repro serve --store results.sqlite --port 8123
+    host-a$ python -m repro sweep sn200 --shard 0/2 --cache-dir http://c:8123
+    host-b$ python -m repro sweep sn200 --shard 1/2 --cache-dir http://c:8123
+    any   $ python -m repro sweep sn200 --cache-dir http://c:8123  # 0 sims
+
 Re-running either form performs zero new simulations: every point is
 served from the cache.
 """
 
 from .campaign import (
+    SHARD_BALANCE_MODES,
     assemble_curve,
     build_sweep_specs,
     build_workload_specs,
@@ -56,6 +67,7 @@ from .spec import (
     WorkloadTraffic,
     build_routing,
     iter_spec_keys,
+    predicted_cost,
     resolve_topology,
     shard_for_key,
     topology_fingerprint,
@@ -64,13 +76,18 @@ from .spec import (
 )
 from .store import (
     SCHEMA_VERSION,
+    TOKEN_ENV,
     CacheBackend,
     CacheStats,
     GCReport,
     LocalDirStore,
     MergeReport,
+    RemoteAuthError,
+    RemoteStore,
+    RemoteStoreError,
     ResultCache,
     SqlitePackStore,
+    StoreServer,
     default_cache_dir,
     merge_stores,
     open_backend,
@@ -82,13 +99,19 @@ __all__ = [
     "CacheBackend",
     "LocalDirStore",
     "SqlitePackStore",
+    "RemoteStore",
+    "RemoteStoreError",
+    "RemoteAuthError",
+    "StoreServer",
     "ResultCache",
     "CacheStats",
     "GCReport",
     "MergeReport",
     "RunStats",
     "SCHEMA_VERSION",
+    "SHARD_BALANCE_MODES",
     "SPEC_VERSION",
+    "TOKEN_ENV",
     "SyntheticTraffic",
     "WorkloadTraffic",
     "traffic_from_dict",
@@ -97,6 +120,7 @@ __all__ = [
     "open_backend",
     "merge_stores",
     "build_routing",
+    "predicted_cost",
     "resolve_topology",
     "topology_fingerprint",
     "topology_token",

@@ -23,9 +23,16 @@ campaign to the specs whose content hash lands in shard ``index`` (see
 :func:`shard_specs` — disjoint, covering, and stable under spec-list
 reordering).  A sharded run computes the full grid for its slice (no
 saturation staging: that would need the other shards' results) and is a
-cache-population pass; after ``cache merge`` brings the shard stores
-together, the unsharded rerun assembles the real curves as a pure cache
-read.
+cache-population pass; after ``cache merge`` — or a shared ``repro
+serve`` rendezvous store — brings the shard results together, the
+unsharded rerun assembles the real curves as a pure cache read.
+
+Shards balance by point count by default (``balance="hash"``); with
+``balance="cost"`` the partition weighs each spec by its predicted cost
+(:func:`~repro.engine.spec.predicted_cost` — load × network size ×
+simulated cycles) so hosts finish together instead of one shard drawing
+every near-saturation point.  Both partitions are pure functions of the
+spec set, so independent hosts agree on ownership with no coordination.
 """
 
 from __future__ import annotations
@@ -41,10 +48,14 @@ from .spec import (
     SyntheticTraffic,
     WorkloadTraffic,
     iter_spec_keys,
+    predicted_cost,
     resolve_topology,
     shard_for_key,
     topology_token,
 )
+
+#: Valid ``balance`` arguments for :func:`shard_specs`.
+SHARD_BALANCE_MODES = ("hash", "cost")
 
 
 def _validate_shard(shard: tuple[int, int]) -> tuple[int, int]:
@@ -57,22 +68,86 @@ def _validate_shard(shard: tuple[int, int]) -> tuple[int, int]:
     return index, count
 
 
+def _cost_balanced_keys(
+    unique: dict[str, ExperimentSpec],
+    index: int,
+    count: int,
+    node_counts: Mapping[str, int] | None,
+) -> set[str]:
+    """Keys owned by shard ``index`` under greedy cost balancing (LPT).
+
+    Specs are placed heaviest-first onto the currently lightest shard —
+    the classic longest-processing-time heuristic, which bounds the
+    spread between shards by one spec's cost.  The placement order is
+    ``(-cost, key)``, a pure function of the spec *set*, so every host
+    slicing the same campaign computes the same assignment with no
+    coordination (exactly the property hash sharding has).
+    """
+    weighted = sorted(
+        (
+            (predicted_cost(spec, (node_counts or {}).get(spec.topology)), key)
+            for key, spec in unique.items()
+        ),
+        key=lambda item: (-item[0], item[1]),
+    )
+    totals = [0.0] * count
+    owned: set[str] = set()
+    for cost, key in weighted:
+        target = min(range(count), key=totals.__getitem__)
+        totals[target] += cost
+        if target == index:
+            owned.add(key)
+    return owned
+
+
 def shard_specs(
-    specs: Sequence[ExperimentSpec], index: int, count: int
+    specs: Sequence[ExperimentSpec],
+    index: int,
+    count: int,
+    *,
+    balance: str = "hash",
+    node_counts: Mapping[str, int] | None = None,
 ) -> list[ExperimentSpec]:
     """The subset of ``specs`` owned by shard ``index`` of ``count``.
 
-    Partitioned by spec *content hash*, so the split is a pure function
-    of what each spec means: the shards are disjoint, cover the whole
-    list, and are stable under reordering — every host slicing the same
-    campaign agrees on who owns which point, with no coordination.
+    Both balance modes are pure functions of the spec *set*: the shards
+    are disjoint, cover the whole list, and are stable under reordering
+    — every host slicing the same campaign agrees on who owns which
+    point, with no coordination.
+
+    * ``balance="hash"`` (default) partitions by spec content hash —
+      even point *counts*, membership independent of the other specs.
+    * ``balance="cost"`` weighs each spec with the predicted-cost model
+      (:func:`~repro.engine.spec.predicted_cost`: load × network size ×
+      simulated cycles) and places specs heaviest-first onto the
+      lightest shard, so shards carry even expected *work* — the
+      near-saturation points that dominate wall time spread across
+      hosts.  ``node_counts`` maps topology tokens to node counts (the
+      campaign layer passes it; without it, network size drops out of
+      the weights).
     """
     _validate_shard((index, count))
-    return [
-        spec
-        for key, spec in zip(iter_spec_keys(specs), specs)
-        if shard_for_key(key, count) == index
-    ]
+    if balance == "hash":
+        return [
+            spec
+            for key, spec in zip(iter_spec_keys(specs), specs)
+            if shard_for_key(key, count) == index
+        ]
+    if balance != "cost":
+        raise ValueError(
+            f"unknown shard balance {balance!r}; options: "
+            f"{', '.join(SHARD_BALANCE_MODES)}"
+        )
+    unique: dict[str, ExperimentSpec] = {}
+    for key, spec in zip(iter_spec_keys(specs), specs):
+        unique.setdefault(key, spec)
+    owned = _cost_balanced_keys(unique, index, count, node_counts)
+    return [spec for key, spec in zip(iter_spec_keys(specs), specs) if key in owned]
+
+
+def _node_counts(topo_map: Mapping[str, Topology]) -> dict[str, int]:
+    """Token → node-count map for the cost model, from live topologies."""
+    return {token: topo.num_nodes for token, topo in topo_map.items()}
 
 
 def _resolve_entry(
@@ -200,12 +275,14 @@ def run_sweep(
     stop_after_saturation: bool = True,
     name: str | None = None,
     shard: tuple[int, int] | None = None,
+    shard_balance: str = "hash",
     progress=None,
 ):
     """One latency-load curve through the engine (cached + parallel).
 
     ``shard=(index, count)`` runs only this invocation's slice of the
-    grid (a cache-population pass; see :func:`run_compare`).
+    grid (a cache-population pass; see :func:`run_compare`), split by
+    content hash or, with ``shard_balance="cost"``, by predicted cost.
     """
     curves = run_compare(
         engine,
@@ -222,6 +299,7 @@ def run_sweep(
         layout=layout,
         stop_after_saturation=stop_after_saturation,
         shard=shard,
+        shard_balance=shard_balance,
         progress=progress,
     )
     return next(iter(curves.values()))
@@ -250,6 +328,7 @@ def run_compare(
     layout: str | None = None,
     stop_after_saturation: bool = True,
     shard: tuple[int, int] | None = None,
+    shard_balance: str = "hash",
     progress=None,
 ):
     """Sweep several labeled networks under one pattern (Figures 12-14).
@@ -262,7 +341,10 @@ def run_compare(
     distributed campaign: the *full* (network × load) grid is built (no
     saturation staging — that would need the other shards' results),
     only the specs owned by this shard are executed, and the returned
-    curves cover just those points.  Merge the shard stores and rerun
+    curves cover just those points.  ``shard_balance`` picks the
+    partition (see :func:`shard_specs`): ``"hash"`` for even point
+    counts, ``"cost"`` for even predicted work.  Merge the shard stores
+    — or write them all into one ``repro serve`` endpoint — and rerun
     unsharded to assemble the complete curves from cache.
     """
     loads = sorted(loads)
@@ -292,16 +374,30 @@ def run_compare(
 
     if shard is not None:
         index, count = _validate_shard(shard)
-        batch = []
-        specs = []
+        grid: list[tuple[str, float, ExperimentSpec]] = []
         for label, info in per_label.items():
             for load in loads:
                 spec = _spec_for(
                     info["token"], pattern, load, config=info["config"], **spec_kw
                 )
-                if spec.shard_of(count) == index:
-                    batch.append((label, load))
-                    specs.append(spec)
+                grid.append((label, load, spec))
+        owned = set(
+            iter_spec_keys(
+                shard_specs(
+                    [spec for _, _, spec in grid],
+                    index,
+                    count,
+                    balance=shard_balance,
+                    node_counts=_node_counts(topo_map),
+                )
+            )
+        )
+        batch = []
+        specs = []
+        for label, load, spec in grid:
+            if spec.content_hash() in owned:
+                batch.append((label, load))
+                specs.append(spec)
         results = engine.run(specs, topologies=topo_map, progress=progress)
         shard_points: dict[str, list] = {label: [] for label in per_label}
         for (label, load), outcome in zip(batch, results):
@@ -441,6 +537,7 @@ def workload_compare(
     drain: int = 1500,
     layout: str | None = None,
     shard: tuple[int, int] | None = None,
+    shard_balance: str = "hash",
     progress=None,
 ) -> dict[str, dict[str, SimResult]]:
     """Run every (network × benchmark) point as one engine batch.
@@ -451,15 +548,16 @@ def workload_compare(
     and every point is individually content-addressed in the cache.
 
     With ``shard=(index, count)`` only this shard's slice of the grid is
-    executed, and the returned table holds just those cells — a
-    cache-population pass for distributed campaigns (merge the shard
-    stores and rerun unsharded for the full table).
+    executed (partitioned by content hash, or by predicted cost with
+    ``shard_balance="cost"``), and the returned table holds just those
+    cells — a cache-population pass for distributed campaigns (merge the
+    shard stores, or share a ``repro serve`` store, then rerun unsharded
+    for the full table).
     """
     if shard is not None:
         shard = _validate_shard(shard)
     topo_map: dict[str, Topology] = {}
-    batch: list[tuple[str, str]] = []
-    specs: list[ExperimentSpec] = []
+    grid: list[tuple[str, str, ExperimentSpec]] = []
     for label, topology in topologies.items():
         token, topology = _resolve_entry(topology, layout)
         topo_map[token] = topology
@@ -477,10 +575,22 @@ def workload_compare(
                 measure=measure,
                 drain=drain,
             )
-            if shard is not None and spec.shard_of(shard[1]) != shard[0]:
-                continue
-            batch.append((label, bench))
-            specs.append(spec)
+            grid.append((label, bench, spec))
+    if shard is not None:
+        owned = set(
+            iter_spec_keys(
+                shard_specs(
+                    [spec for _, _, spec in grid],
+                    shard[0],
+                    shard[1],
+                    balance=shard_balance,
+                    node_counts=_node_counts(topo_map),
+                )
+            )
+        )
+        grid = [cell for cell in grid if cell[2].content_hash() in owned]
+    batch = [(label, bench) for label, bench, _ in grid]
+    specs = [spec for _, _, spec in grid]
     results = engine.run(specs, topologies=topo_map, progress=progress)
     table: dict[str, dict[str, SimResult]] = {label: {} for label in topologies}
     for (label, bench), outcome in zip(batch, results):

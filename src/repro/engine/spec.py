@@ -349,3 +349,40 @@ def shard_for_key(key: str, shard_count: int) -> int:
     if shard_count < 1:
         raise ValueError("shard_count must be >= 1")
     return int(key[:16], 16) % shard_count
+
+
+#: Baseline activity of an idle-ish network relative to its offered load
+#: (router bookkeeping, warmup/drain overhead): keeps the predicted cost
+#: of near-zero-load points realistically non-zero.
+_COST_BASE_ACTIVITY = 0.25
+
+
+def predicted_cost(spec: ExperimentSpec, num_nodes: int | None = None) -> float:
+    """Cheap relative cost estimate for one simulation point.
+
+    The model is deliberately crude — simulated work scales with how
+    many cycles run, how many nodes inject, and how loaded the network
+    is::
+
+        cost = (warmup + measure + drain) * num_nodes * (base + load)
+
+    It exists for *balance*, not prediction: :func:`shard_specs` with
+    ``balance="cost"`` weighs each spec by this number so shards carry
+    comparable expected work instead of equal point counts (a 0.45-load
+    point near saturation costs many times a 0.02-load one; one shard
+    drawing all the hot points would gate the whole campaign).  Only
+    ratios between specs matter, so the units are arbitrary.
+
+    ``num_nodes`` comes from the campaign layer, which holds the live
+    topology objects; without it the model still orders same-network
+    specs correctly (the common case — one campaign, one grid).
+    """
+    cycles = spec.warmup + spec.measure + spec.drain
+    source = spec.source
+    if isinstance(source, SyntheticTraffic):
+        load = source.load
+    else:
+        # Workload intensity is messages/node/100 cycles; scale to the
+        # flits/node/cycle ballpark synthetic loads live in.
+        load = WORKLOADS[source.bench].intensity * source.intensity_scale / 100.0
+    return float(cycles) * float(num_nodes or 1) * (_COST_BASE_ACTIVITY + load)

@@ -14,6 +14,10 @@ results merged back into a single store:
   single WAL-mode SQLite file: safe for concurrent shard writers on
   one host, one inode for 10k+ entries, and the transport format for
   ``cache export`` / ``cache merge``;
+* :mod:`~repro.engine.store.http` — :class:`RemoteStore`, the same
+  protocol over a minimal JSON/HTTP wire format against a ``python -m
+  repro serve`` endpoint (:class:`StoreServer`), so shard hosts
+  rendezvous into one network store with no pack-file shipping;
 * :mod:`~repro.engine.store.frontend` — :class:`ResultCache`, the
   engine-facing wrapper adding the SimResult codec, hit counters,
   batched ``get_many``/``put_many``, and the ``REPRO_CACHE_MAX_BYTES``
@@ -21,7 +25,9 @@ results merged back into a single store:
 
 Backends are selected by location: a directory path keeps the classic
 layout, ``*.sqlite``/``*.db``/``*.pack`` files or ``sqlite:`` URLs open
-a pack, and ``REPRO_CACHE_BACKEND=sqlite`` packs even plain-path caches.
+a pack, ``http://``/``https://`` URLs open a remote client
+(authenticating via ``REPRO_CACHE_TOKEN``), and
+``REPRO_CACHE_BACKEND=sqlite`` packs even plain-path caches.
 """
 
 from .base import (
@@ -30,6 +36,7 @@ from .base import (
     DEFAULT_CACHE_DIR,
     MAX_BYTES_ENV,
     PACK_SUFFIXES,
+    REMOTE_PREFIXES,
     SCHEMA_VERSION,
     CacheBackend,
     CacheStats,
@@ -43,6 +50,15 @@ from .base import (
     open_backend,
 )
 from .frontend import ResultCache
+from .http import (
+    DEFAULT_PORT,
+    PROTOCOL_VERSION,
+    TOKEN_ENV,
+    RemoteAuthError,
+    RemoteStore,
+    RemoteStoreError,
+    StoreServer,
+)
 from .localdir import LocalDirStore
 from .sqlite import SqlitePackStore
 
@@ -50,17 +66,25 @@ __all__ = [
     "BACKEND_ENV",
     "CACHE_DIR_ENV",
     "DEFAULT_CACHE_DIR",
+    "DEFAULT_PORT",
     "MAX_BYTES_ENV",
     "PACK_SUFFIXES",
+    "PROTOCOL_VERSION",
+    "REMOTE_PREFIXES",
     "SCHEMA_VERSION",
+    "TOKEN_ENV",
     "CacheBackend",
     "CacheStats",
     "GCReport",
     "LocalDirStore",
     "MergeReport",
     "RawEntry",
+    "RemoteAuthError",
+    "RemoteStore",
+    "RemoteStoreError",
     "ResultCache",
     "SqlitePackStore",
+    "StoreServer",
     "default_cache_dir",
     "encode_entry",
     "entry_is_unreachable",

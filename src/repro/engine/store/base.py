@@ -17,6 +17,53 @@ hit counting; that is the job of the
 every entry is encoded canonically, moving entries between backends
 (:func:`merge_stores`) preserves content exactly: a merged store is
 byte-for-byte equivalent to having run the campaign locally.
+
+The backend contract
+--------------------
+
+Anything implementing :class:`CacheBackend` — including out-of-process
+stores like :class:`~repro.engine.store.http.RemoteStore` — must keep
+these guarantees, which the rest of the engine assumes rather than
+checks:
+
+* **Canonical bytes.**  Every stored entry is the output of
+  :func:`encode_entry` (sorted keys, ``(",", ":")`` separators).
+  Payload writes construct the entry dict themselves and *must* encode
+  it with this function; :meth:`CacheBackend.put_entry` stores the
+  caller's dict verbatim (re-encoded, never re-ordered or annotated).
+  This is what makes cross-backend merges byte-identical and lets
+  :func:`entry_is_unreachable` test version markers on raw text.
+* **mtimes are the LRU clock.**  Each entry carries one last-use
+  timestamp.  ``get_payload``/``get_payload_many`` refresh it on a hit
+  ("touch on read"); ``put_payload*`` stamps "now"; ``put_entry*``
+  *preserves* a supplied ``mtime`` (backdating is how merges keep a
+  shard's eviction order) and only defaults to "now" when none is
+  given.  ``gc`` evicts strictly in mtime order.
+* **Misses are silent, never errors.**  A missing, unreadable, corrupt,
+  wrong-``kind``, or wrong-schema entry makes ``get_payload`` return
+  ``None`` (the engine recomputes and overwrites); raw ``get_entry``
+  skips undecodable entries.  Backends raise only for infrastructure
+  failures (e.g. an unreachable server), not for content.
+* **Concurrent writers, last-writer-wins.**  Several shard processes
+  may write the same store at once.  Writers of the same key are
+  racing to store *identical canonical bytes* (keys are content
+  addresses), so last-writer-wins — an atomic rename, an ``INSERT OR
+  REPLACE``, one server-side lock — is always correct.  Genuine
+  byte conflicts under one key appear only across stores (a spec
+  version skew or corruption); :func:`merge_stores` counts them and
+  keeps the destination's copy.
+* **Batch calls are plural, not different.**  ``*_many`` methods must
+  be observably equivalent to a loop over their singular forms —
+  missing keys are simply absent from the result dict (never ``None``
+  placeholders), duplicates are allowed in the request — but should
+  collapse the work into one round trip / transaction / fsync window.
+  Callers bound request sizes with :func:`chunked`, so a backend may
+  assume batches of at most a few hundred items.
+* **``stats`` counters stay zero.**  ``hits``/``misses`` belong to the
+  :class:`~repro.engine.store.frontend.ResultCache` front end; backends
+  report entry/byte totals only.  ``size_bytes`` must be cheap (no
+  per-entry content scan) — the auto-GC estimate calls it on the write
+  path.
 """
 
 from __future__ import annotations
@@ -47,6 +94,10 @@ MAX_BYTES_ENV = "REPRO_CACHE_MAX_BYTES"
 #: File suffixes that mark a location as a SQLite pack rather than a
 #: cache directory.
 PACK_SUFFIXES = (".sqlite", ".db", ".pack")
+
+#: URL prefixes that mark a location as a remote ``repro serve``
+#: endpoint (see :mod:`repro.engine.store.http`).
+REMOTE_PREFIXES = ("http://", "https://")
 
 
 def default_cache_dir() -> Path:
@@ -234,6 +285,10 @@ class CacheBackend(Protocol):
 def open_backend(location: str | os.PathLike | None = None) -> CacheBackend:
     """Open the store at ``location``, picking the backend from its form.
 
+    * ``http://`` / ``https://`` URLs open a
+      :class:`~repro.engine.store.http.RemoteStore` client against a
+      ``python -m repro serve`` endpoint (bearer token from
+      ``REPRO_CACHE_TOKEN``);
     * ``sqlite:<path>`` / ``dir:<path>`` URL prefixes force a backend;
     * a path ending in ``.sqlite``/``.db``/``.pack`` opens a
       :class:`SqlitePackStore`;
@@ -248,6 +303,10 @@ def open_backend(location: str | os.PathLike | None = None) -> CacheBackend:
     if location is None:
         location = os.environ.get(CACHE_DIR_ENV) or DEFAULT_CACHE_DIR
     text = os.fspath(location)
+    if text.startswith(REMOTE_PREFIXES):
+        from .http import RemoteStore
+
+        return RemoteStore(text)
     if text.startswith("sqlite:"):
         return SqlitePackStore(text[len("sqlite:") :])
     if text.startswith("dir:"):

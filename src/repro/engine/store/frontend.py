@@ -14,10 +14,20 @@ The front end owns everything backends deliberately do not:
   ``repro.engine.store`` logger.
 
 ``ResultCache(path)`` keeps its historical meaning — a sharded JSON
-directory — while pack files and URL-style locations select the SQLite
-backend (see :func:`~repro.engine.store.base.open_backend`).  Passing a
-ready-made backend object wires in anything else that satisfies the
-protocol.
+directory — while pack files, ``sqlite:``/``dir:`` URLs, and
+``http://`` server endpoints select their backends by location (see
+:func:`~repro.engine.store.base.open_backend`).  Passing a ready-made
+backend object wires in anything else that satisfies the protocol.
+
+The front end relies on — and only on — the backend contract written
+down in :mod:`repro.engine.store.base`: it batches freely because
+``*_many`` calls are plural-not-different, trusts mtime refresh on hits
+to keep its LRU ``gc`` meaningful, treats every ``None`` payload as a
+recomputable miss, and assumes ``size_bytes`` is cheap enough to call
+on the write path.  Code in this module must not depend on any behavior
+of a particular backend beyond that contract — it is the part that
+stays correct when the backend is a directory, a SQLite pack, or a
+server on another machine.
 """
 
 from __future__ import annotations
@@ -76,8 +86,18 @@ class ResultCache:
 
     @property
     def root(self) -> Path:
-        """Where the store lives (directory root or pack-file path)."""
+        """Where a *local* store lives (directory root or pack-file path).
+
+        Remote stores have no filesystem root; use :attr:`location` for
+        display, which survives URLs unmangled.
+        """
         return Path(self.backend.location)
+
+    @property
+    def location(self) -> str:
+        """Human-readable store position (path or URL), as the backend
+        reports it."""
+        return self.backend.location
 
     def __repr__(self) -> str:
         return f"ResultCache({self.backend!r})"

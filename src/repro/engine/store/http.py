@@ -1,0 +1,495 @@
+"""Remote result store: the :class:`CacheBackend` protocol over JSON/HTTP.
+
+This module is how sharded campaigns rendezvous *without shipping pack
+files between hosts*: one machine runs ``python -m repro serve`` (a
+:class:`StoreServer` — a stdlib ``ThreadingHTTPServer`` fronting any
+local backend, a SQLite pack by default), and every shard host points
+its engine at ``--cache-dir http://host:8123``.  Shard writers stream
+results into the shared store as they finish, and the unsharded rerun
+on any machine assembles the campaign as a pure cache read.
+
+Two halves, one wire protocol:
+
+* :class:`RemoteStore` — the client.  A full :class:`CacheBackend`
+  (single and batched payloads, raw entries for ``cache export`` /
+  ``cache merge``, ``iter_keys``/``stats``/``gc``/``clear``), so a URL
+  is a first-class store location everywhere a path is: engine caches,
+  merge sources *and* destinations, ``cache stats``.  Transient
+  failures (connection refused, 5xx, timeouts) are retried with
+  exponential backoff; a dead server surfaces as a single clear
+  :class:`RemoteStoreError`, and a token mismatch as
+  :class:`RemoteAuthError` (no retry — credentials do not heal).
+* :class:`StoreServer` — the server.  Every request holds one lock
+  around the backing store, so concurrent shard writers serialize into
+  SQLite safely; with ``token=...`` (or ``--token`` / the
+  ``REPRO_CACHE_TOKEN`` environment variable on the CLI) requests must
+  carry ``Authorization: Bearer <token>``.
+
+The wire protocol is deliberately minimal — JSON bodies over a handful
+of endpoints, versioned by ``PROTOCOL_VERSION``:
+
+====== ==================== ==========================================
+method endpoint             body -> response
+====== ==================== ==========================================
+GET    ``/health``          -> ``{ok, protocol, schema, location}``
+GET    ``/keys``            -> ``{keys: [...]}``
+GET    ``/stats``           -> ``CacheStats`` fields (counters zero)
+GET    ``/size``            -> ``{size_bytes}``
+POST   ``/payloads/get``    ``{keys, kind}`` -> ``{found: {key: payload}}``
+POST   ``/payloads/put``    ``{items: [[key, kind, result, spec]]}``
+                            -> ``{written}``
+POST   ``/entries/get``     ``{keys}`` -> ``{entries: {key: {entry, mtime}}}``
+POST   ``/entries/put``     ``{entries: [{key, entry, mtime}]}`` -> ``{written}``
+POST   ``/gc``              ``{max_bytes?, max_age_days?, now?}``
+                            -> ``GCReport`` fields
+POST   ``/clear``           ``{}`` -> ``{removed}``
+====== ==================== ==========================================
+
+Batched calls are chunked client-side with the same
+:func:`~repro.engine.store.base.chunked` bound the SQLite backend uses,
+so one engine batch costs one round trip per ~500 keys — the runner's
+cache-first pass over a remote store is a handful of POSTs, not a
+per-spec probe storm.
+"""
+
+from __future__ import annotations
+
+import hmac
+import json
+import os
+import threading
+import time
+import urllib.error
+import urllib.request
+from dataclasses import asdict
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Callable, Iterable, Iterator
+
+from .base import (
+    SCHEMA_VERSION,
+    CacheBackend,
+    CacheStats,
+    GCReport,
+    RawEntry,
+    chunked,
+)
+
+#: Bearer token honored by both the client (outgoing header) and the
+#: ``repro serve`` CLI (required token) when set in the environment.
+TOKEN_ENV = "REPRO_CACHE_TOKEN"
+
+#: Bump when the endpoint set or body shapes change incompatibly.
+PROTOCOL_VERSION = 1
+
+#: Default ``repro serve`` bind (the README's rendezvous examples).
+DEFAULT_PORT = 8123
+
+#: Transient HTTP statuses worth retrying: timeouts, throttling, and
+#: server-side 5xx.  Auth failures and client errors are permanent.
+_RETRY_STATUSES = frozenset({408, 425, 429, 500, 502, 503, 504})
+
+
+class RemoteStoreError(OSError):
+    """The remote store could not be reached or refused the request."""
+
+
+class RemoteAuthError(RemoteStoreError):
+    """The server rejected the request's bearer token (401/403)."""
+
+
+class RemoteStore:
+    """:class:`CacheBackend` client for a ``repro serve`` endpoint.
+
+    Args:
+        url: Server base URL (``http://host:8123``).
+        token: Bearer token sent with every request; defaults to the
+            ``REPRO_CACHE_TOKEN`` environment variable.
+        timeout: Per-request socket timeout in seconds.
+        retries: Total attempts per request (first try included).
+        backoff: Base delay between attempts; doubles each retry.
+        sleep: Injection point for the backoff delay (tests).
+    """
+
+    def __init__(
+        self,
+        url: str,
+        *,
+        token: str | None = None,
+        timeout: float = 30.0,
+        retries: int = 4,
+        backoff: float = 0.2,
+        sleep: Callable[[float], None] = time.sleep,
+    ):
+        self.url = url.rstrip("/")
+        self.token = token if token is not None else os.environ.get(TOKEN_ENV) or None
+        self.timeout = timeout
+        self.retries = max(1, retries)
+        self.backoff = backoff
+        self._sleep = sleep
+
+    @property
+    def location(self) -> str:
+        return self.url
+
+    def __repr__(self) -> str:
+        return f"RemoteStore({self.url!r})"
+
+    # -- wire ---------------------------------------------------------------
+
+    def _call(self, endpoint: str, payload: dict | None = None) -> dict:
+        """One JSON round trip, retrying transient failures with backoff.
+
+        ``payload=None`` issues a GET; anything else POSTs its JSON
+        encoding.  Permanent failures (4xx other than throttling) raise
+        immediately; transient ones retry ``self.retries`` times and
+        then surface one :class:`RemoteStoreError` naming the server.
+        """
+        data = None if payload is None else json.dumps(payload).encode("utf-8")
+        headers = {"Content-Type": "application/json"}
+        if self.token:
+            headers["Authorization"] = f"Bearer {self.token}"
+        last: Exception | None = None
+        for attempt in range(self.retries):
+            if attempt:
+                self._sleep(self.backoff * (2 ** (attempt - 1)))
+            request = urllib.request.Request(
+                f"{self.url}/{endpoint}",
+                data=data,
+                headers=headers,
+                method="GET" if data is None else "POST",
+            )
+            try:
+                with urllib.request.urlopen(request, timeout=self.timeout) as resp:
+                    return json.loads(resp.read().decode("utf-8"))
+            except urllib.error.HTTPError as exc:
+                if exc.code in (401, 403):
+                    raise RemoteAuthError(
+                        f"{self.url} rejected the request (HTTP {exc.code}): "
+                        f"set {TOKEN_ENV} to the token the server was "
+                        "started with"
+                    ) from None
+                if exc.code not in _RETRY_STATUSES:
+                    raise RemoteStoreError(
+                        f"{self.url}/{endpoint} failed: HTTP {exc.code} "
+                        f"{exc.reason}"
+                    ) from None
+                last = exc
+            except (TimeoutError, OSError) as exc:  # URLError is an OSError
+                last = exc
+        raise RemoteStoreError(
+            f"remote store {self.url} is unreachable after {self.retries} "
+            f"attempts (last error: {last}); is `python -m repro serve` "
+            "running there?"
+        ) from last
+
+    def ping(self) -> dict:
+        """One unauthenticated ``/health`` round trip (liveness probe)."""
+        return self._call("health")
+
+    # -- payloads -----------------------------------------------------------
+
+    def get_payload(self, key: str, kind: str) -> dict | None:
+        return self.get_payload_many([key], kind).get(key)
+
+    def get_payload_many(self, keys: Iterable[str], kind: str) -> dict[str, dict]:
+        wanted = list(dict.fromkeys(keys))
+        found: dict[str, dict] = {}
+        for chunk in chunked(wanted):
+            resp = self._call("payloads/get", {"keys": chunk, "kind": kind})
+            found.update(resp["found"])
+        return found
+
+    def put_payload(
+        self, key: str, kind: str, result: dict, spec: dict | None = None
+    ) -> int:
+        return self.put_payload_many([(key, kind, result, spec)])
+
+    def put_payload_many(
+        self, items: Iterable[tuple[str, str, dict, dict | None]]
+    ) -> int:
+        written = 0
+        for chunk in chunked(list(items)):
+            rows = [[key, kind, result, spec] for key, kind, result, spec in chunk]
+            written += self._call("payloads/put", {"items": rows})["written"]
+        return written
+
+    # -- raw entries --------------------------------------------------------
+
+    def get_entry(self, key: str) -> RawEntry | None:
+        return self.get_entry_many([key]).get(key)
+
+    def get_entry_many(self, keys: Iterable[str]) -> dict[str, RawEntry]:
+        wanted = list(dict.fromkeys(keys))
+        found: dict[str, RawEntry] = {}
+        for chunk in chunked(wanted):
+            resp = self._call("entries/get", {"keys": chunk})
+            for key, raw in resp["entries"].items():
+                found[key] = RawEntry(key=key, entry=raw["entry"], mtime=raw["mtime"])
+        return found
+
+    def put_entry(self, key: str, entry: dict, mtime: float | None = None) -> int:
+        raw = RawEntry(
+            key=key, entry=entry, mtime=time.time() if mtime is None else mtime
+        )
+        return self.put_entry_many([raw])
+
+    def put_entry_many(self, entries: Iterable[RawEntry]) -> int:
+        written = 0
+        for chunk in chunked(list(entries)):
+            resp = self._call(
+                "entries/put",
+                {
+                    "entries": [
+                        {"key": raw.key, "entry": raw.entry, "mtime": raw.mtime}
+                        for raw in chunk
+                    ]
+                },
+            )
+            written += resp["written"]
+        return written
+
+    # -- maintenance --------------------------------------------------------
+
+    def iter_keys(self) -> Iterator[str]:
+        yield from self._call("keys")["keys"]
+
+    def size_bytes(self) -> int:
+        return self._call("size")["size_bytes"]
+
+    def stats(self) -> CacheStats:
+        resp = self._call("stats")
+        return CacheStats(
+            entries=resp["entries"],
+            size_bytes=resp["size_bytes"],
+            hits=0,
+            misses=0,
+            reclaimable_entries=resp.get("reclaimable_entries", 0),
+            reclaimable_bytes=resp.get("reclaimable_bytes", 0),
+        )
+
+    def gc(
+        self,
+        max_bytes: int | None = None,
+        max_age_days: float | None = None,
+        now: float | None = None,
+    ) -> GCReport:
+        resp = self._call(
+            "gc", {"max_bytes": max_bytes, "max_age_days": max_age_days, "now": now}
+        )
+        return GCReport(**resp)
+
+    def clear(self) -> int:
+        return self._call("clear", {})["removed"]
+
+    def close(self) -> None:
+        pass
+
+
+# -- server -----------------------------------------------------------------
+
+
+def _route_payloads_get(backend: CacheBackend, payload: dict) -> dict:
+    return {"found": backend.get_payload_many(payload["keys"], payload["kind"])}
+
+
+def _route_payloads_put(backend: CacheBackend, payload: dict) -> dict:
+    items = [(key, kind, result, spec) for key, kind, result, spec in payload["items"]]
+    return {"written": backend.put_payload_many(items)}
+
+
+def _route_entries_get(backend: CacheBackend, payload: dict) -> dict:
+    found = backend.get_entry_many(payload["keys"])
+    return {
+        "entries": {
+            key: {"entry": raw.entry, "mtime": raw.mtime}
+            for key, raw in found.items()
+        }
+    }
+
+
+def _route_entries_put(backend: CacheBackend, payload: dict) -> dict:
+    entries = [
+        RawEntry(key=raw["key"], entry=raw["entry"], mtime=raw["mtime"])
+        for raw in payload["entries"]
+    ]
+    return {"written": backend.put_entry_many(entries)}
+
+
+def _route_gc(backend: CacheBackend, payload: dict) -> dict:
+    report = backend.gc(
+        max_bytes=payload.get("max_bytes"),
+        max_age_days=payload.get("max_age_days"),
+        now=payload.get("now"),
+    )
+    return asdict(report)
+
+
+def _route_stats(backend: CacheBackend, payload: dict) -> dict:
+    stats = backend.stats()
+    return {
+        "entries": stats.entries,
+        "size_bytes": stats.size_bytes,
+        "reclaimable_entries": stats.reclaimable_entries,
+        "reclaimable_bytes": stats.reclaimable_bytes,
+    }
+
+
+_GET_ROUTES: dict[str, Callable[[CacheBackend, dict], dict]] = {
+    "/keys": lambda backend, payload: {"keys": list(backend.iter_keys())},
+    "/stats": _route_stats,
+    "/size": lambda backend, payload: {"size_bytes": backend.size_bytes()},
+}
+
+_POST_ROUTES: dict[str, Callable[[CacheBackend, dict], dict]] = {
+    "/payloads/get": _route_payloads_get,
+    "/payloads/put": _route_payloads_put,
+    "/entries/get": _route_entries_get,
+    "/entries/put": _route_entries_put,
+    "/gc": _route_gc,
+    "/clear": lambda backend, payload: {"removed": backend.clear()},
+}
+
+
+class _StoreHandler(BaseHTTPRequestHandler):
+    """One request against the server's backing store.
+
+    The body is always read before replying (keeps the socket in a sane
+    state on errors), auth is checked before any store access, and every
+    store call holds the server-wide lock — concurrent shard writers
+    serialize here, which is what makes a plain SQLite pack (or even a
+    directory store) safe to share over the network.
+    """
+
+    server_version = f"repro-store/{PROTOCOL_VERSION}"
+
+    def log_message(self, fmt: str, *args) -> None:
+        if not getattr(self.server, "quiet", False):
+            BaseHTTPRequestHandler.log_message(self, fmt, *args)
+
+    def _reply(self, status: int, payload: dict) -> None:
+        blob = json.dumps(payload).encode("utf-8")
+        self.send_response(status)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(blob)))
+        self.end_headers()
+        self.wfile.write(blob)
+
+    def _authorized(self) -> bool:
+        token = self.server.token
+        if token is None:
+            return True
+        supplied = self.headers.get("Authorization", "")
+        # Compare as bytes: compare_digest raises on non-ASCII str input
+        # (http.server decodes headers as latin-1), and an exception here
+        # would abort the connection with no HTTP reply at all.
+        expected = f"Bearer {token}".encode("utf-8", "surrogateescape")
+        return hmac.compare_digest(
+            supplied.encode("utf-8", "surrogateescape"), expected
+        )
+
+    def _dispatch(self, routes: dict, payload: dict) -> None:
+        path = "/" + self.path.strip("/")
+        if self.server.fail_requests > 0:  # test hook: transient failures
+            self.server.fail_requests -= 1
+            return self._reply(503, {"error": "injected transient failure"})
+        if path == "/health":
+            return self._reply(
+                200,
+                {
+                    "ok": True,
+                    "protocol": PROTOCOL_VERSION,
+                    "schema": SCHEMA_VERSION,
+                    "location": self.server.backend.location,
+                },
+            )
+        if not self._authorized():
+            return self._reply(401, {"error": "missing or invalid bearer token"})
+        route = routes.get(path)
+        if route is None:
+            return self._reply(
+                404, {"error": f"unknown endpoint {self.command} {path}"}
+            )
+        try:
+            with self.server.lock:
+                result = route(self.server.backend, payload)
+        except Exception as exc:  # surface, don't kill the worker thread
+            return self._reply(500, {"error": f"{type(exc).__name__}: {exc}"})
+        self._reply(200, result)
+
+    def do_GET(self) -> None:
+        self._dispatch(_GET_ROUTES, {})
+
+    def do_POST(self) -> None:
+        length = int(self.headers.get("Content-Length") or 0)
+        body = self.rfile.read(length) if length else b""
+        try:
+            payload = json.loads(body.decode("utf-8")) if body else {}
+        except ValueError:
+            return self._reply(400, {"error": "request body is not valid JSON"})
+        self._dispatch(_POST_ROUTES, payload)
+
+
+class StoreServer:
+    """Serve any local :class:`CacheBackend` over the wire protocol.
+
+    ``port=0`` binds an ephemeral port (tests); :attr:`url` reports the
+    resolved address either way.  :meth:`start` runs the accept loop on
+    a daemon thread and returns ``self`` (fixture style);
+    :meth:`serve_forever` blocks (the ``repro serve`` CLI).
+    """
+
+    def __init__(
+        self,
+        backend: CacheBackend,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        token: str | None = None,
+        quiet: bool = False,
+    ):
+        self.backend = backend
+        self._httpd = ThreadingHTTPServer((host, port), _StoreHandler)
+        self._httpd.daemon_threads = True
+        self._httpd.backend = backend
+        self._httpd.token = token
+        self._httpd.lock = threading.Lock()
+        self._httpd.quiet = quiet
+        self._httpd.fail_requests = 0
+        self._thread: threading.Thread | None = None
+
+    @property
+    def host(self) -> str:
+        return self._httpd.server_address[0]
+
+    @property
+    def port(self) -> int:
+        return self._httpd.server_address[1]
+
+    @property
+    def url(self) -> str:
+        return f"http://{self.host}:{self.port}"
+
+    def inject_failures(self, count: int) -> None:
+        """Make the next ``count`` requests fail with 503 (retry tests)."""
+        self._httpd.fail_requests = count
+
+    def start(self) -> "StoreServer":
+        self._thread = threading.Thread(target=self._httpd.serve_forever, daemon=True)
+        self._thread.start()
+        return self
+
+    def serve_forever(self) -> None:
+        self._httpd.serve_forever()
+
+    def close(self) -> None:
+        if self._thread is not None:
+            self._httpd.shutdown()
+            self._thread.join(timeout=5.0)
+            self._thread = None
+        self._httpd.server_close()
+        self.backend.close()
+
+    def __enter__(self) -> "StoreServer":
+        return self.start()
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()

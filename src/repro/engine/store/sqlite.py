@@ -67,7 +67,11 @@ class SqlitePackStore:
     def _connect(self) -> sqlite3.Connection:
         if self._conn is None:
             self.path.parent.mkdir(parents=True, exist_ok=True)
-            conn = sqlite3.connect(self.path, timeout=30.0)
+            # check_same_thread=False: `repro serve` handles requests on
+            # ThreadingHTTPServer worker threads but serializes every
+            # store call behind one lock, which is the sharing discipline
+            # sqlite3 requires of a cross-thread connection.
+            conn = sqlite3.connect(self.path, timeout=30.0, check_same_thread=False)
             # Must precede table creation to take effect on a new file;
             # lets gc hand freed pages back without a full VACUUM (which
             # needs exclusive access and would block concurrent shard

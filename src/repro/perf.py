@@ -184,21 +184,43 @@ def main(argv: list[str]) -> int:
     import argparse
 
     parser = argparse.ArgumentParser(
-        prog="python -m repro perf", description=__doc__,
-        formatter_class=argparse.RawDescriptionHelpFormatter)
-    parser.add_argument("--quick", action="store_true",
-                        help="CI-sized workload (sn54) instead of sn200")
-    parser.add_argument("--repeats", type=int, default=2,
-                        help="timing repeats per case, best-of (default 2)")
-    parser.add_argument("--output", default="BENCH_sim_core.json",
-                        help="report path (default ./BENCH_sim_core.json)")
-    parser.add_argument("--baseline", default=str(BASELINE_PATH),
-                        help="committed baseline to compare against")
-    parser.add_argument("--check", action="store_true",
-                        help="exit 1 if total cycles/sec regresses beyond "
-                             "--max-regression vs the baseline")
-    parser.add_argument("--max-regression", type=float, default=0.30,
-                        help="tolerated fractional slowdown (default 0.30)")
+        prog="python -m repro perf",
+        description=__doc__,
+        formatter_class=argparse.RawDescriptionHelpFormatter,
+    )
+    parser.add_argument(
+        "--quick",
+        action="store_true",
+        help="CI-sized workload (sn54) instead of sn200",
+    )
+    parser.add_argument(
+        "--repeats",
+        type=int,
+        default=2,
+        help="timing repeats per case, best-of (default 2)",
+    )
+    parser.add_argument(
+        "--output",
+        default="BENCH_sim_core.json",
+        help="report path (default ./BENCH_sim_core.json)",
+    )
+    parser.add_argument(
+        "--baseline",
+        default=str(BASELINE_PATH),
+        help="committed baseline to compare against",
+    )
+    parser.add_argument(
+        "--check",
+        action="store_true",
+        help="exit 1 if total cycles/sec regresses beyond "
+        "--max-regression vs the baseline",
+    )
+    parser.add_argument(
+        "--max-regression",
+        type=float,
+        default=0.30,
+        help="tolerated fractional slowdown (default 0.30)",
+    )
     args = parser.parse_args(argv)
 
     mode = "quick" if args.quick else "full"
@@ -207,12 +229,16 @@ def main(argv: list[str]) -> int:
     width = max(len(name) for name in report["cases"])
     print(f"simulator core perf — {mode} workload (best of {args.repeats})")
     for name, case in report["cases"].items():
-        print(f"  {name:<{width}}  {case['cycles']:>6} cyc "
-              f"{case['seconds']*1e3:>9.1f} ms  "
-              f"{case['cycles_per_sec']:>12,.0f} cyc/s")
-    print(f"  {'TOTAL':<{width}}  {report['total_cycles']:>6} cyc "
-          f"{report['total_seconds']*1e3:>9.1f} ms  "
-          f"{report['cycles_per_sec']:>12,.0f} cyc/s")
+        print(
+            f"  {name:<{width}}  {case['cycles']:>6} cyc "
+            f"{case['seconds']*1e3:>9.1f} ms  "
+            f"{case['cycles_per_sec']:>12,.0f} cyc/s"
+        )
+    print(
+        f"  {'TOTAL':<{width}}  {report['total_cycles']:>6} cyc "
+        f"{report['total_seconds']*1e3:>9.1f} ms  "
+        f"{report['cycles_per_sec']:>12,.0f} cyc/s"
+    )
 
     merge_report(Path(args.output), mode, report)
     print(f"wrote {args.output}")
@@ -223,27 +249,37 @@ def main(argv: list[str]) -> int:
         base_mode = baseline["modes"][mode]
         total_ratio, geomean = speedup_against(report, base_mode)
         gate_ratio, gate_geo = speedup_against(report, base_mode, normalize=True)
-        print(f"vs committed baseline: {total_ratio:.2f}x total, "
-              f"{geomean:.2f}x per-case geomean "
-              f"({gate_ratio:.2f}x / {gate_geo:.2f}x machine-normalized)")
+        print(
+            f"vs committed baseline: {total_ratio:.2f}x total, "
+            f"{geomean:.2f}x per-case geomean "
+            f"({gate_ratio:.2f}x / {gate_geo:.2f}x machine-normalized)"
+        )
     else:
         print(f"vs committed baseline: none for mode {mode!r}")
     reference = (baseline or {}).get("reference_pre_pr", {}).get("modes", {})
     if mode in reference:
         ref_total, ref_geo = speedup_against(report, reference[mode])
-        print(f"vs pre-optimization lockstep core: {ref_total:.2f}x total, "
-              f"{ref_geo:.2f}x per-case geomean")
+        print(
+            f"vs pre-optimization lockstep core: {ref_total:.2f}x total, "
+            f"{ref_geo:.2f}x per-case geomean"
+        )
 
     if args.check:
         if gate_ratio is None:
             # A gate with nothing to compare against must fail loudly, not
             # silently pass — this is the whole point of CI's perf-smoke.
-            print(f"FAIL: --check requires a committed baseline for mode "
-                  f"{mode!r} at {args.baseline}", file=sys.stderr)
+            print(
+                f"FAIL: --check requires a committed baseline for mode "
+                f"{mode!r} at {args.baseline}",
+                file=sys.stderr,
+            )
             return 2
         if gate_ratio < 1.0 - args.max_regression:
-            print(f"FAIL: machine-normalized regression {gate_ratio:.2f}x is "
-                  f"beyond {args.max_regression:.0%}", file=sys.stderr)
+            print(
+                f"FAIL: machine-normalized regression {gate_ratio:.2f}x is "
+                f"beyond {args.max_regression:.0%}",
+                file=sys.stderr,
+            )
             return 1
     return 0
 

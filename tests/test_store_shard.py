@@ -1,4 +1,5 @@
-"""Pluggable result stores, shard partitioning, merge, auto-GC, pool lifecycle."""
+"""Pluggable result stores (local + remote HTTP), shard partitioning,
+merge, auto-GC, pool lifecycle."""
 
 import itertools
 import json
@@ -12,10 +13,15 @@ from repro.engine import (
     ExperimentEngine,
     ExperimentSpec,
     LocalDirStore,
+    RemoteAuthError,
+    RemoteStore,
+    RemoteStoreError,
     ResultCache,
     SqlitePackStore,
+    StoreServer,
     merge_stores,
     open_backend,
+    predicted_cost,
     run_compare,
     run_sweep,
     shard_for_key,
@@ -43,11 +49,27 @@ def spec_grid(n=24) -> list[ExperimentSpec]:
     return [fast_spec(load=0.01 + 0.005 * i) for i in range(n)]
 
 
-@pytest.fixture(params=["dir", "sqlite"])
+def remote_store(server, **overrides):
+    """Client against ``server`` with test-friendly retry settings."""
+    kw = dict(retries=2, backoff=0.01)
+    kw.update(overrides)
+    return RemoteStore(server.url, **kw)
+
+
+@pytest.fixture(params=["dir", "sqlite", "remote"])
 def backend(request, tmp_path):
+    """Every store implementation, including the HTTP client against a
+    live ephemeral-port server — the wire protocol passes the same
+    equivalence suite the local backends do."""
     if request.param == "dir":
-        return LocalDirStore(tmp_path / "store")
-    return SqlitePackStore(tmp_path / "store.sqlite")
+        yield LocalDirStore(tmp_path / "store")
+    elif request.param == "sqlite":
+        yield SqlitePackStore(tmp_path / "store.sqlite")
+    else:
+        with StoreServer(
+            SqlitePackStore(tmp_path / "store.sqlite"), quiet=True
+        ) as server:
+            yield remote_store(server)
 
 
 def set_mtime(backend, key, mtime):
@@ -90,6 +112,85 @@ class TestShardPartitioning:
             shard_specs(specs, -1, 2)
         with pytest.raises(ValueError):
             shard_for_key("ab", 0)
+        with pytest.raises(ValueError):
+            shard_specs(specs, 0, 2, balance="bogus")
+
+
+def mixed_cost_grid() -> list[ExperimentSpec]:
+    """Specs whose predicted costs vary widely (loads and windows)."""
+    specs = [fast_spec(load=0.01 + 0.05 * i) for i in range(8)]
+    specs += [
+        fast_spec(load=0.3, warmup=300, measure=800, drain=1500),
+        fast_spec(load=0.45, warmup=300, measure=800, drain=1500),
+    ]
+    return specs
+
+
+class TestCostBalancedSharding:
+    @pytest.mark.parametrize("count", [1, 2, 3, 5])
+    def test_disjoint_and_covering(self, count):
+        specs = mixed_cost_grid()
+        shards = [
+            shard_specs(specs, i, count, balance="cost") for i in range(count)
+        ]
+        keys = [set(iter_spec_keys(shard)) for shard in shards]
+        assert set().union(*keys) == set(iter_spec_keys(specs))
+        for a, b in itertools.combinations(keys, 2):
+            assert not a & b
+
+    def test_stable_under_permutation(self):
+        specs = mixed_cost_grid()
+        shuffled = specs[:]
+        random.Random(11).shuffle(shuffled)
+        for index in range(3):
+            original = set(
+                iter_spec_keys(shard_specs(specs, index, 3, balance="cost"))
+            )
+            permuted = set(
+                iter_spec_keys(shard_specs(shuffled, index, 3, balance="cost"))
+            )
+            assert original == permuted
+
+    def test_balances_predicted_work(self):
+        """Greedy LPT property: the spread between the heaviest and
+        lightest shard is at most one spec's cost — far tighter than
+        hash partitioning can promise on a skewed grid."""
+        specs = mixed_cost_grid()
+        costs = {spec.content_hash(): predicted_cost(spec) for spec in specs}
+        totals = [
+            sum(costs[key] for key in iter_spec_keys(
+                shard_specs(specs, index, 2, balance="cost")
+            ))
+            for index in range(2)
+        ]
+        assert max(totals) - min(totals) <= max(costs.values())
+
+    def test_cost_model_orders_by_load_size_and_cycles(self):
+        light = fast_spec(load=0.02)
+        heavy = fast_spec(load=0.45)
+        long = fast_spec(load=0.02, warmup=300, measure=800, drain=1500)
+        assert predicted_cost(heavy) > predicted_cost(light)
+        assert predicted_cost(long) > predicted_cost(light)
+        assert predicted_cost(light, num_nodes=200) > predicted_cost(
+            light, num_nodes=54
+        )
+
+    def test_cost_sharded_campaign_covers_grid(self, tmp_path):
+        """Two cost-balanced shard runs cover the grid exactly once, and
+        the unsharded rerun over the union is a pure cache read."""
+        cache = ResultCache(tmp_path / "store.sqlite")
+        engine = ExperimentEngine(cache=cache)
+        executed = []
+        for index in range(2):
+            run_sweep(
+                engine, "sn54", "RND", LOADS, **FAST,
+                shard=(index, 2), shard_balance="cost",
+            )
+            executed.append(engine.last_stats.executed)
+        assert sum(executed) == len(LOADS)
+        curve = run_sweep(engine, "sn54", "RND", LOADS, **FAST)
+        assert engine.last_stats.executed == 0
+        assert [p.load for p in curve.points] == LOADS
 
 
 class TestBackendEquivalence:
@@ -285,6 +386,128 @@ class TestMerge:
         set_mtime(a, key, old)
         merge_stores(b, a)
         assert abs(b.get_entry(key).mtime - old) < 2.0
+
+
+class TestRemoteStore:
+    """Wire-protocol behavior beyond the shared backend-equivalence
+    suite: auth, retry/backoff, offline errors, merge transport."""
+
+    @pytest.fixture
+    def server(self, tmp_path):
+        with StoreServer(
+            SqlitePackStore(tmp_path / "served.sqlite"), quiet=True
+        ) as server:
+            yield server
+
+    def test_open_backend_and_result_cache_dispatch(self):
+        store = open_backend("http://127.0.0.1:1/base/")
+        assert isinstance(store, RemoteStore)
+        assert store.location == "http://127.0.0.1:1/base"
+        cache = ResultCache("https://example.invalid:8123")
+        assert isinstance(cache.backend, RemoteStore)
+        assert cache.location == "https://example.invalid:8123"
+
+    def test_health_is_unauthenticated(self, tmp_path):
+        with StoreServer(
+            SqlitePackStore(tmp_path / "s.sqlite"), token="secret", quiet=True
+        ) as server:
+            health = remote_store(server).ping()
+            assert health["ok"] is True
+            assert health["schema"] == SCHEMA_VERSION
+
+    def test_auth_token_rejection_and_acceptance(self, tmp_path, monkeypatch):
+        monkeypatch.delenv("REPRO_CACHE_TOKEN", raising=False)
+        with StoreServer(
+            SqlitePackStore(tmp_path / "s.sqlite"), token="secret", quiet=True
+        ) as server:
+            with pytest.raises(RemoteAuthError):
+                remote_store(server).put_payload("aa" * 32, "sim", {"x": 1})
+            with pytest.raises(RemoteAuthError):
+                remote_store(server, token="wrong").stats()
+            good = remote_store(server, token="secret")
+            good.put_payload("aa" * 32, "sim", {"x": 1})
+            assert good.get_payload("aa" * 32, "sim") == {"x": 1}
+            # Clients pick the token up from the environment by default.
+            monkeypatch.setenv("REPRO_CACHE_TOKEN", "secret")
+            assert remote_store(server).stats().entries == 1
+
+    def test_non_ascii_token_compares_not_crashes(self, tmp_path, monkeypatch):
+        """A non-ASCII token must yield a clean 401/200, never a handler
+        crash (str compare_digest raises on non-ASCII input)."""
+        monkeypatch.delenv("REPRO_CACHE_TOKEN", raising=False)
+        with StoreServer(
+            SqlitePackStore(tmp_path / "s.sqlite"), token="sécret", quiet=True
+        ) as server:
+            with pytest.raises(RemoteAuthError):
+                remote_store(server, token="wröng").stats()
+            assert remote_store(server, token="sécret").stats().entries == 0
+
+    def test_retry_with_backoff_on_transient_failures(self, server):
+        sleeps = []
+        store = remote_store(
+            server, retries=4, backoff=0.05, sleep=sleeps.append
+        )
+        store.put_payload("aa" * 32, "sim", {"x": 1})
+        server.inject_failures(2)
+        assert store.get_payload("aa" * 32, "sim") == {"x": 1}
+        assert sleeps == [0.05, 0.1]  # exponential backoff, then success
+
+    def test_retries_exhausted_surface_one_clear_error(self, server):
+        server.inject_failures(10)
+        store = remote_store(server, sleep=lambda _s: None)
+        with pytest.raises(RemoteStoreError, match="unreachable after 2"):
+            store.iter_keys().__next__()
+
+    def test_offline_server_error_names_the_cure(self, tmp_path):
+        server = StoreServer(SqlitePackStore(tmp_path / "s.sqlite"))
+        url = server.url
+        server.close()  # nothing listens on that port anymore
+        store = RemoteStore(url, retries=2, backoff=0, sleep=lambda _s: None)
+        with pytest.raises(RemoteStoreError, match="repro serve"):
+            store.stats()
+
+    def test_remote_merge_round_trip_is_byte_identical(self, tmp_path, server):
+        """local pack -> remote -> fresh local pack preserves canonical
+        bytes and LRU timestamps: the network is a transport, not a
+        transform."""
+        source = SqlitePackStore(tmp_path / "src.sqlite")
+        ExperimentEngine(cache=ResultCache(backend=source)).run(
+            [fast_spec(), fast_spec(load=0.08)]
+        )
+        backdated = next(source.iter_keys())
+        old = time.time() - 3 * 86400
+        source.put_entry(backdated, source.get_entry(backdated).entry, mtime=old)
+
+        remote = remote_store(server)
+        up = merge_stores(remote, source)
+        assert (up.copied, up.conflicts) == (2, 0)
+        out = SqlitePackStore(tmp_path / "out.sqlite")
+        down = merge_stores(out, remote)
+        assert (down.copied, down.conflicts) == (2, 0)
+        for key in source.iter_keys():
+            assert out.get_entry(key).encoded() == source.get_entry(key).encoded()
+        assert abs(out.get_entry(backdated).mtime - old) < 2.0
+
+    def test_concurrent_shards_rendezvous_without_file_shipping(
+        self, tmp_path, server
+    ):
+        """The acceptance flow, in-process: two sharded sweeps write the
+        same live endpoint, and the unsharded rerun (from any client)
+        simulates nothing.  No store files move between cache
+        locations."""
+        for index in range(2):
+            with ExperimentEngine(
+                cache=ResultCache(backend=remote_store(server))
+            ) as engine:
+                run_sweep(engine, "sn54", "RND", LOADS, **FAST, shard=(index, 2))
+                assert engine.total_stats.cache_hits == 0
+        with ExperimentEngine(
+            cache=ResultCache(backend=remote_store(server))
+        ) as engine:
+            curve = run_sweep(engine, "sn54", "RND", LOADS, **FAST)
+            assert engine.total_stats.executed == 0
+            assert not engine.pool_active
+        assert [p.load for p in curve.points] == LOADS
 
 
 class TestShardedCampaignEndToEnd:
