@@ -73,13 +73,27 @@ from .engine import (
     ExperimentEngine,
     RemoteStoreError,
     ResultCache,
+    build_sweep_specs,
+    build_workload_specs,
+    estimate_campaign_seconds,
     run_compare,
     run_sweep,
+    shard_specs,
+    spec_load,
+)
+from .obs import (
+    ProgressLine,
+    configure_logging,
+    default_calibration,
+    format_duration,
+    get_logger,
 )
 from .power import TECH_45NM, network_area, static_power
 from .sim import BUFFERING_STRATEGIES, NoCSimulator, SimConfig
 from .topos import catalog_symbols
 from .traffic import SyntheticSource, workload_names
+
+_log = get_logger("cli")
 
 COMMANDS = ("info", "sweep", "compare", "workloads", "cache", "serve", "perf")
 
@@ -128,7 +142,25 @@ def _build_config(args: argparse.Namespace) -> SimConfig:
 
 def _build_engine(args: argparse.Namespace) -> ExperimentEngine:
     cache = None if args.no_cache else ResultCache(args.cache_dir)
-    return ExperimentEngine(cache=cache, max_workers=args.workers)
+    # CLI campaigns run calibrated: executed specs feed the measured-cost
+    # table, and cost-balanced shards / ETAs read it back.  Library users
+    # opt in explicitly (ExperimentEngine(calibration=...)).
+    return ExperimentEngine(
+        cache=cache, max_workers=args.workers, calibration=default_calibration()
+    )
+
+
+def _save_calibration(engine: ExperimentEngine) -> None:
+    """Persist the measured-cost table if this run taught it anything."""
+    calibration = engine.calibration
+    if calibration is None or not calibration.dirty:
+        return
+    try:
+        path = calibration.save()
+    except OSError as exc:
+        _log.warning("could not save the cost-calibration table: %s", exc)
+    else:
+        _log.debug("updated cost calibration at %s", path)
 
 
 def _progress(done: int, total: int, spec, cached: bool) -> None:
@@ -136,6 +168,176 @@ def _progress(done: int, total: int, spec, cached: bool) -> None:
     print(
         f"  [{done}/{total}] {spec.topology} {spec.source.label} ({tag})",
         file=sys.stderr,
+    )
+
+
+def _synthetic_grid(
+    args: argparse.Namespace,
+    config: SimConfig,
+    networks: list[str],
+    patterns: list[str],
+) -> tuple[list[list], dict[str, int]]:
+    """The campaign's spec grid, grouped as the campaign layer shards it.
+
+    Returns ``(groups, node_counts)``: one spec group per independent
+    shard partition (``sweep`` partitions each pattern separately — one
+    ``run_sweep`` call each — while ``compare`` partitions all networks
+    together), plus the token → node-count map the cost model needs.
+    Built with the same :func:`build_sweep_specs` the campaign layer
+    uses, so content hashes — and therefore shard membership — match
+    the real run exactly.
+    """
+    groups: list[list] = []
+    node_counts: dict[str, int] = {}
+    for pattern in patterns:
+        group: list = []
+        for network in networks:
+            specs, topo_map = build_sweep_specs(
+                network,
+                pattern,
+                args.loads,
+                config=config,
+                packet_flits=args.packet_flits,
+                seed=args.seed,
+                warmup=args.warmup,
+                measure=args.measure,
+                drain=args.drain,
+            )
+            group.extend(specs)
+            for token, topo in topo_map.items():
+                node_counts[token] = topo.num_nodes
+        groups.append(group)
+    return groups, node_counts
+
+
+def _workload_grid(
+    args: argparse.Namespace, benches: list[str]
+) -> tuple[list[list], dict[str, int]]:
+    """Spec grid for a workload campaign (one shard partition)."""
+    config = SimConfig().with_smart(not args.no_smart)
+    group: list = []
+    node_counts: dict[str, int] = {}
+    for network in args.networks:
+        specs, topo_map = build_workload_specs(
+            network,
+            benches,
+            config=config,
+            intensity_scale=args.intensity_scale,
+            seed=args.seed,
+            warmup=args.warmup,
+            measure=args.measure,
+            drain=args.drain,
+        )
+        group.extend(specs)
+        for token, topo in topo_map.items():
+            node_counts[token] = topo.num_nodes
+    return [group], node_counts
+
+
+def _campaign_progress(
+    args: argparse.Namespace,
+    engine: ExperimentEngine,
+    groups: list[list],
+    node_counts: dict[str, int],
+):
+    """Progress reporting for a campaign: ``(callback, line_or_None)``.
+
+    Default is the classic per-point stderr printer; ``--progress``
+    swaps in a live single-line display with hit counts and an ETA from
+    the calibrated cost table (falling back to observed pace until the
+    table covers the campaign); ``--quiet`` disables both.
+    """
+    if args.quiet:
+        return None, None
+    if not getattr(args, "progress", False):
+        return _progress, None
+    calibration = engine.calibration
+    if getattr(args, "shard", None) is not None:
+        # A sharded run only completes its own slice; size the line (and
+        # its pending cost) to that slice, computed with the same
+        # partition function the campaign layer uses.
+        index, count = args.shard
+        specs = []
+        for group in groups:
+            specs.extend(
+                shard_specs(
+                    group,
+                    index,
+                    count,
+                    balance=args.shard_balance,
+                    node_counts=node_counts,
+                    calibration=calibration,
+                )
+            )
+    else:
+        specs = [spec for group in groups for spec in group]
+
+    def cost_fn(spec) -> float | None:
+        nodes = node_counts.get(spec.topology)
+        if nodes is None or calibration is None:
+            return None
+        return calibration.seconds_for(
+            nodes, spec.warmup + spec.measure + spec.drain, spec_load(spec)
+        )
+
+    line = ProgressLine(total=len(specs), cost_fn=cost_fn)
+    line.add_pending(specs)
+
+    def callback(done: int, total: int, spec, cached: bool) -> None:
+        line.update(spec, cached)
+
+    return callback, line
+
+
+def _print_shard_eta(
+    args: argparse.Namespace,
+    engine: ExperimentEngine,
+    groups: list[list],
+    node_counts: dict[str, int],
+) -> None:
+    """Announce the sharded slice and its calibrated time estimate."""
+    index, count = args.shard
+    owned: list = []
+    for group in groups:
+        owned.extend(
+            shard_specs(
+                group,
+                index,
+                count,
+                balance=args.shard_balance,
+                node_counts=node_counts,
+                calibration=engine.calibration,
+            )
+        )
+    total = sum(len(group) for group in groups)
+    seconds = estimate_campaign_seconds(owned, node_counts, engine.calibration)
+    if seconds is not None:
+        print(
+            f"  shard {index}/{count}: {len(owned)} of {total} points, "
+            f"est ~{format_duration(seconds)} simulation time (calibrated, "
+            "cache hits not counted)",
+            file=sys.stderr,
+        )
+    else:
+        print(
+            f"  shard {index}/{count}: {len(owned)} of {total} points "
+            "(no calibrated ETA — the cost table has no measurements for "
+            "this grid yet)",
+            file=sys.stderr,
+        )
+
+
+def _print_stage_seconds(stats) -> None:
+    """One-line per-stage timing breakdown after a campaign."""
+    stages = stats.stage_seconds
+    if not stages.get("total"):
+        return
+    print(
+        f"  stages: cache-lookup {stages.get('cache_lookup', 0.0):.2f}s, "
+        f"dispatch {stages.get('dispatch', 0.0):.2f}s "
+        f"(simulate {stages.get('simulate', 0.0):.2f}s summed), "
+        f"write-back {stages.get('write_back', 0.0):.2f}s, "
+        f"total {stages.get('total', 0.0):.2f}s"
     )
 
 
@@ -175,6 +377,10 @@ def _add_engine_options(parser: argparse.ArgumentParser) -> None:
                              "counts (default), 'cost' to balance "
                              "predicted work (load x network size x "
                              "simulated cycles) across shards")
+    parser.add_argument("--progress", action="store_true",
+                        help="live one-line progress on stderr (done/total, "
+                             "cache hits, ETA from the measured-cost "
+                             "calibration table) instead of per-point lines")
     parser.add_argument("--quiet", action="store_true",
                         help="suppress per-point progress on stderr")
 
@@ -338,10 +544,14 @@ def cmd_info(args: argparse.Namespace) -> int:
 
 def cmd_sweep(args: argparse.Namespace) -> int:
     config = _build_config(args)
-    progress = None if args.quiet else _progress
+    patterns = [p for p in args.patterns.split(",") if p]
     curves = {}
     with _build_engine(args) as engine:
-        for pattern in [p for p in args.patterns.split(",") if p]:
+        groups, node_counts = _synthetic_grid(args, config, [args.network], patterns)
+        progress, line = _campaign_progress(args, engine, groups, node_counts)
+        if args.shard is not None and not args.quiet:
+            _print_shard_eta(args, engine, groups, node_counts)
+        for pattern in patterns:
             before = engine.total_stats.snapshot()
             curve = run_sweep(
                 engine, args.network, pattern, args.loads,
@@ -351,6 +561,8 @@ def cmd_sweep(args: argparse.Namespace) -> int:
                 shard_balance=args.shard_balance, progress=progress,
             )
             curves[pattern] = curve
+            if line is not None:
+                line.finish()
             stats = engine.total_stats.since(before)
             if args.shard is not None:
                 title = (f"{args.network} / {pattern} "
@@ -367,6 +579,8 @@ def cmd_sweep(args: argparse.Namespace) -> int:
             print(f"  engine: {stats.cache_hits} cached, "
                   f"{stats.executed} simulated, {stats.workers} workers\n")
         total = engine.total_stats
+        _print_stage_seconds(total)
+        _save_calibration(engine)
     if args.json_path:
         payload = {
             "network": args.network,
@@ -382,7 +596,6 @@ def cmd_sweep(args: argparse.Namespace) -> int:
 
 def cmd_compare(args: argparse.Namespace) -> int:
     config = _build_config(args)
-    progress = None if args.quiet else _progress
     if args.model and args.shard is not None:
         raise ValueError("--shard applies to simulation campaigns, not --model")
     with _build_engine(args) as engine:
@@ -400,6 +613,12 @@ def cmd_compare(args: argparse.Namespace) -> int:
                 seed=args.seed,
             )
         else:
+            groups, node_counts = _synthetic_grid(
+                args, config, args.networks, [args.pattern]
+            )
+            progress, line = _campaign_progress(args, engine, groups, node_counts)
+            if args.shard is not None and not args.quiet:
+                _print_shard_eta(args, engine, groups, node_counts)
             curves = run_compare(
                 engine, {symbol: symbol for symbol in args.networks},
                 args.pattern, args.loads,
@@ -408,7 +627,10 @@ def cmd_compare(args: argparse.Namespace) -> int:
                 stop_after_saturation=not args.no_stop, shard=args.shard,
                 shard_balance=args.shard_balance, progress=progress,
             )
+            if line is not None:
+                line.finish()
         stats = engine.total_stats
+        _save_calibration(engine)
     if args.shard is None:
         rows = []
         for label in args.networks:
@@ -433,6 +655,7 @@ def cmd_compare(args: argparse.Namespace) -> int:
               "to assemble curves)")
     print(f"  engine: {stats.cache_hits} cached, {stats.executed} simulated, "
           f"{stats.workers} workers\n")
+    _print_stage_seconds(stats)
     for label in args.networks:
         print(format_table(
             ["load", "latency [cyc]", "throughput"],
@@ -454,10 +677,11 @@ def cmd_workloads(args: argparse.Namespace) -> int:
     baseline = args.baseline or args.networks[0]
     if baseline not in args.networks:
         raise ValueError(f"baseline {baseline!r} is not among the networks")
-    progress = None if args.quiet else _progress
     if args.shard is not None:
-        return _workloads_shard(args, benches, progress)
+        return _workloads_shard(args, benches)
     with _build_engine(args) as engine:
+        groups, node_counts = _workload_grid(args, benches)
+        progress, line = _campaign_progress(args, engine, groups, node_counts)
         table = workload_table(
             args.networks, benches,
             smart=not args.no_smart,
@@ -465,7 +689,10 @@ def cmd_workloads(args: argparse.Namespace) -> int:
             seed=args.seed, warmup=args.warmup, measure=args.measure,
             drain=args.drain, engine=engine, progress=progress,
         )
+        if line is not None:
+            line.finish()
         stats = engine.total_stats
+        _save_calibration(engine)
     edp = edp_table(table, baseline)
     for bench in benches:
         rows = [
@@ -495,6 +722,7 @@ def cmd_workloads(args: argparse.Namespace) -> int:
         print(f"  EDP gain vs {baseline} (geomean): {gains}")
     print(f"  engine: {stats.cache_hits} cached, {stats.executed} simulated, "
           f"{stats.workers} workers")
+    _print_stage_seconds(stats)
     if args.json_path:
         payload = {
             "baseline": baseline,
@@ -512,7 +740,7 @@ def cmd_workloads(args: argparse.Namespace) -> int:
     return 0
 
 
-def _workloads_shard(args: argparse.Namespace, benches, progress) -> int:
+def _workloads_shard(args: argparse.Namespace, benches) -> int:
     """Cache-population pass for one shard of a workload campaign.
 
     The power/EDP join needs the full (network × benchmark) table, so a
@@ -523,6 +751,10 @@ def _workloads_shard(args: argparse.Namespace, benches, progress) -> int:
 
     config = SimConfig().with_smart(not args.no_smart)
     with _build_engine(args) as engine:
+        groups, node_counts = _workload_grid(args, benches)
+        progress, line = _campaign_progress(args, engine, groups, node_counts)
+        if not args.quiet:
+            _print_shard_eta(args, engine, groups, node_counts)
         table = workload_compare(
             engine, {symbol: symbol for symbol in args.networks}, benches,
             config=config, intensity_scale=args.intensity_scale,
@@ -530,7 +762,10 @@ def _workloads_shard(args: argparse.Namespace, benches, progress) -> int:
             drain=args.drain, shard=args.shard,
             shard_balance=args.shard_balance, progress=progress,
         )
+        if line is not None:
+            line.finish()
         stats = engine.total_stats
+        _save_calibration(engine)
     computed = sum(len(cells) for cells in table.values())
     grid = len(args.networks) * len(benches)
     print(f"shard {args.shard[0]}/{args.shard[1]}: computed {computed} of "
@@ -648,6 +883,9 @@ def _cache_transfer(cache: ResultCache, args: argparse.Namespace) -> int:
 
 
 def main(argv: list[str]) -> int:
+    # One logging setup for every subcommand (REPRO_LOG / REPRO_LOG_FORMAT);
+    # the library itself never calls this — embedders configure their own.
+    configure_logging()
     if not argv or argv[0] in ("-h", "--help"):
         build_parser().print_help()
         return 0

@@ -54,6 +54,7 @@ from .campaign import (
     assemble_curve,
     build_sweep_specs,
     build_workload_specs,
+    estimate_campaign_seconds,
     run_compare,
     run_sweep,
     shard_specs,
@@ -70,6 +71,7 @@ from .spec import (
     predicted_cost,
     resolve_topology,
     shard_for_key,
+    spec_load,
     topology_fingerprint,
     topology_token,
     traffic_from_dict,
@@ -120,8 +122,10 @@ __all__ = [
     "open_backend",
     "merge_stores",
     "build_routing",
+    "estimate_campaign_seconds",
     "predicted_cost",
     "resolve_topology",
+    "spec_load",
     "topology_fingerprint",
     "topology_token",
     "iter_spec_keys",

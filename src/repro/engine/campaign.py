@@ -40,6 +40,7 @@ from __future__ import annotations
 import math
 from typing import Mapping, Sequence
 
+from ..obs import CostCalibration
 from ..sim import SimConfig, SimResult
 from ..topos.base import Topology
 from .runner import ExperimentEngine
@@ -51,6 +52,7 @@ from .spec import (
     predicted_cost,
     resolve_topology,
     shard_for_key,
+    spec_load,
     topology_token,
 )
 
@@ -68,26 +70,89 @@ def _validate_shard(shard: tuple[int, int]) -> tuple[int, int]:
     return index, count
 
 
+def _spec_costs(
+    unique: dict[str, ExperimentSpec],
+    node_counts: Mapping[str, int] | None,
+    calibration: CostCalibration | None,
+) -> tuple[dict[str, float], bool]:
+    """Per-key costs for LPT balancing: ``(costs, calibrated)``.
+
+    Calibrated costs are measured wall seconds; heuristic costs are
+    abstract units.  The two must never mix inside one partition (a
+    4e-5-seconds spec would be dwarfed by a 500000-unit one), so
+    calibration applies **all-or-nothing**: every spec's bucket must be
+    present in the table, otherwise the whole batch falls back to the
+    heuristic.  Either way the costs — and thus the partition — are a
+    deterministic function of (spec set, calibration table).
+    """
+    nodes = node_counts or {}
+    if calibration is not None:
+        calibrated: dict[str, float] | None = {}
+        for key, spec in unique.items():
+            num_nodes = nodes.get(spec.topology)
+            seconds = (
+                None
+                if num_nodes is None
+                else calibration.seconds_for(
+                    num_nodes,
+                    spec.warmup + spec.measure + spec.drain,
+                    spec_load(spec),
+                )
+            )
+            if seconds is None:
+                calibrated = None
+                break
+            calibrated[key] = seconds
+        if calibrated is not None:
+            return calibrated, True
+    return {
+        key: predicted_cost(spec, nodes.get(spec.topology))
+        for key, spec in unique.items()
+    }, False
+
+
+def estimate_campaign_seconds(
+    specs: Sequence[ExperimentSpec],
+    node_counts: Mapping[str, int] | None = None,
+    calibration: CostCalibration | None = None,
+) -> float | None:
+    """Calibrated wall-seconds estimate for a batch of specs.
+
+    Returns ``None`` unless *every* spec's calibration bucket has been
+    observed (same all-or-nothing rule as cost balancing) — a partial
+    estimate would silently understate the campaign.  Cache hits are not
+    modelled; this is the cost of simulating everything.
+    """
+    unique: dict[str, ExperimentSpec] = {}
+    for key, spec in zip(iter_spec_keys(specs), specs):
+        unique.setdefault(key, spec)
+    costs, calibrated = _spec_costs(unique, node_counts, calibration)
+    if not calibrated:
+        return None
+    return sum(costs.values())
+
+
 def _cost_balanced_keys(
     unique: dict[str, ExperimentSpec],
     index: int,
     count: int,
     node_counts: Mapping[str, int] | None,
+    calibration: CostCalibration | None = None,
 ) -> set[str]:
     """Keys owned by shard ``index`` under greedy cost balancing (LPT).
 
     Specs are placed heaviest-first onto the currently lightest shard —
     the classic longest-processing-time heuristic, which bounds the
     spread between shards by one spec's cost.  The placement order is
-    ``(-cost, key)``, a pure function of the spec *set*, so every host
-    slicing the same campaign computes the same assignment with no
-    coordination (exactly the property hash sharding has).
+    ``(-cost, key)``, a pure function of the spec *set* (and, when
+    given, the calibration table — see :func:`_spec_costs`), so every
+    host slicing the same campaign computes the same assignment with no
+    coordination (exactly the property hash sharding has) — provided
+    calibrated hosts share the same table.
     """
+    costs, _ = _spec_costs(unique, node_counts, calibration)
     weighted = sorted(
-        (
-            (predicted_cost(spec, (node_counts or {}).get(spec.topology)), key)
-            for key, spec in unique.items()
-        ),
+        ((costs[key], key) for key in unique),
         key=lambda item: (-item[0], item[1]),
     )
     totals = [0.0] * count
@@ -107,6 +172,7 @@ def shard_specs(
     *,
     balance: str = "hash",
     node_counts: Mapping[str, int] | None = None,
+    calibration: CostCalibration | None = None,
 ) -> list[ExperimentSpec]:
     """The subset of ``specs`` owned by shard ``index`` of ``count``.
 
@@ -124,7 +190,10 @@ def shard_specs(
       near-saturation points that dominate wall time spread across
       hosts.  ``node_counts`` maps topology tokens to node counts (the
       campaign layer passes it; without it, network size drops out of
-      the weights).
+      the weights).  An optional ``calibration`` table upgrades the
+      weights to measured wall seconds when every spec's bucket has
+      been observed (see :func:`_spec_costs`) — hosts must share the
+      table for their partitions to agree.
     """
     _validate_shard((index, count))
     if balance == "hash":
@@ -141,7 +210,7 @@ def shard_specs(
     unique: dict[str, ExperimentSpec] = {}
     for key, spec in zip(iter_spec_keys(specs), specs):
         unique.setdefault(key, spec)
-    owned = _cost_balanced_keys(unique, index, count, node_counts)
+    owned = _cost_balanced_keys(unique, index, count, node_counts, calibration)
     return [spec for key, spec in zip(iter_spec_keys(specs), specs) if key in owned]
 
 
@@ -389,6 +458,7 @@ def run_compare(
                     count,
                     balance=shard_balance,
                     node_counts=_node_counts(topo_map),
+                    calibration=engine.calibration,
                 )
             )
         )
@@ -585,6 +655,7 @@ def workload_compare(
                     shard[1],
                     balance=shard_balance,
                     node_counts=_node_counts(topo_map),
+                    calibration=engine.calibration,
                 )
             )
         )

@@ -31,13 +31,16 @@ Environment knobs: ``REPRO_WORKERS`` sets the default worker count and
 from __future__ import annotations
 
 import os
+import time
 from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Callable, Sequence
 
+from ..obs import CostCalibration
+from ..obs.metrics import ENGINE_SPEC_SECONDS, ENGINE_SPECS, span
 from ..sim import SimResult
 from ..topos.base import Topology
-from .spec import FINGERPRINT_PREFIX, ExperimentSpec
+from .spec import FINGERPRINT_PREFIX, ExperimentSpec, resolve_topology, spec_load
 from .store import ResultCache
 
 #: progress(done, total, spec, from_cache) — invoked once per unique spec.
@@ -48,15 +51,26 @@ NO_CACHE_ENV = "REPRO_NO_CACHE"
 
 
 def _execute_remote(payload: tuple[dict, Topology | None]) -> dict:
-    """Worker entry point: rebuild the spec, simulate, return a JSON dict.
+    """Worker entry point: rebuild the spec, simulate, return the result
+    as a JSON dict plus its measured wall seconds and network size.
 
     Returning the serialized form (not the ``SimResult``) keeps the
     transfer compact for large runs and guarantees parallel results pass
-    through exactly the codec the cache uses.
+    through exactly the codec the cache uses.  Seconds and node count
+    ride along so the parent can feed the cost-calibration table without
+    re-resolving the topology.
     """
     spec_dict, topology = payload
     spec = ExperimentSpec.from_dict(spec_dict)
-    return spec.execute(topology=topology).to_dict()
+    if topology is None:
+        topology = resolve_topology(spec.topology, spec.layout)
+    start = time.perf_counter()
+    result = spec.execute(topology=topology)
+    return {
+        "result": result.to_dict(),
+        "seconds": time.perf_counter() - start,
+        "nodes": topology.num_nodes,
+    }
 
 
 @dataclass
@@ -69,12 +83,19 @@ class RunStats:
     cache_hits: int = 0
     executed: int = 0
     workers: int = 1
+    #: Wall seconds by engine stage (cache_lookup / dispatch / simulate /
+    #: write_back / total).  ``simulate`` is the *sum of per-spec measured
+    #: times*, so under parallel dispatch it exceeds the wall-clock
+    #: ``dispatch`` that contains it — the ratio is the realized speedup.
+    stage_seconds: dict[str, float] = field(default_factory=dict)
 
     def accumulate(self, other: "RunStats") -> None:
         self.requested += other.requested
         self.unique += other.unique
         self.cache_hits += other.cache_hits
         self.executed += other.executed
+        for stage, seconds in other.stage_seconds.items():
+            self.stage_seconds[stage] = self.stage_seconds.get(stage, 0.0) + seconds
 
     def since(self, earlier: "RunStats") -> "RunStats":
         return RunStats(
@@ -83,6 +104,10 @@ class RunStats:
             cache_hits=self.cache_hits - earlier.cache_hits,
             executed=self.executed - earlier.executed,
             workers=self.workers,
+            stage_seconds={
+                stage: seconds - earlier.stage_seconds.get(stage, 0.0)
+                for stage, seconds in self.stage_seconds.items()
+            },
         )
 
     def snapshot(self) -> "RunStats":
@@ -92,6 +117,7 @@ class RunStats:
             cache_hits=self.cache_hits,
             executed=self.executed,
             workers=self.workers,
+            stage_seconds=dict(self.stage_seconds),
         )
 
     def to_dict(self) -> dict:
@@ -101,6 +127,10 @@ class RunStats:
             "cache_hits": self.cache_hits,
             "executed": self.executed,
             "workers": self.workers,
+            "stage_seconds": {
+                stage: round(seconds, 6)
+                for stage, seconds in sorted(self.stage_seconds.items())
+            },
         }
 
 
@@ -114,6 +144,11 @@ class ExperimentEngine:
         serial_threshold: Batches with fewer misses than this run
             serially even when ``max_workers > 1`` (worker startup would
             dominate).
+        calibration: Optional :class:`~repro.obs.CostCalibration`; when
+            set, every executed spec's measured wall seconds are folded
+            into the table, and campaign-layer cost balancing / ETAs
+            read it back.  ``None`` (the default) keeps the engine — and
+            ``predicted_cost`` — on the pure deterministic heuristic.
     """
 
     def __init__(
@@ -121,12 +156,14 @@ class ExperimentEngine:
         cache: ResultCache | None = None,
         max_workers: int = 1,
         serial_threshold: int = 2,
+        calibration: CostCalibration | None = None,
     ):
         if max_workers < 1:
             raise ValueError("max_workers must be >= 1")
         self.cache = cache
         self.max_workers = max_workers
         self.serial_threshold = serial_threshold
+        self.calibration = calibration
         self.last_stats = RunStats()
         self.total_stats = RunStats(workers=max_workers)
         self._pool: ProcessPoolExecutor | None = None
@@ -172,19 +209,31 @@ class ExperimentEngine:
         ``topologies`` maps fingerprint tokens (``spec.topology``) to live
         :class:`Topology` objects for specs built from ad-hoc networks.
         """
+        run_start = time.perf_counter()
         topologies = topologies or {}
         unique: dict[str, ExperimentSpec] = {}
         for spec in specs:
             unique.setdefault(spec.content_hash(), spec)
         stats = RunStats(
-            requested=len(specs), unique=len(unique), workers=self.max_workers
+            requested=len(specs),
+            unique=len(unique),
+            workers=self.max_workers,
+            stage_seconds={
+                "cache_lookup": 0.0,
+                "dispatch": 0.0,
+                "simulate": 0.0,
+                "write_back": 0.0,
+                "total": 0.0,
+            },
         )
 
         # Cache-first pass: one batched backend round trip for the whole
         # batch, not a per-spec probe.
         results: dict[str, SimResult] = {}
-        if self.cache is not None:
-            results = self.cache.get_many(unique.values())
+        with span("engine.cache_lookup") as lookup_span:
+            if self.cache is not None:
+                results = self.cache.get_many(unique.values())
+        stats.stage_seconds["cache_lookup"] = lookup_span.seconds
         misses: list[tuple[str, ExperimentSpec]] = []
         done = 0
         for key, spec in unique.items():
@@ -195,6 +244,8 @@ class ExperimentEngine:
                     progress(done, len(unique), spec, True)
             else:
                 misses.append((key, spec))
+        if stats.cache_hits:
+            ENGINE_SPECS.labels(outcome="cache_hit").inc(stats.cache_hits)
 
         def topology_for(spec: ExperimentSpec) -> Topology | None:
             if spec.topology.startswith(FINGERPRINT_PREFIX):
@@ -209,37 +260,74 @@ class ExperimentEngine:
 
         executed: list[tuple[ExperimentSpec, SimResult]] = []
 
-        def record(key: str, spec: ExperimentSpec, result: SimResult) -> None:
+        def record(
+            key: str,
+            spec: ExperimentSpec,
+            result: SimResult,
+            seconds: float = 0.0,
+            nodes: int | None = None,
+        ) -> None:
             nonlocal done
             executed.append((spec, result))
             results[key] = result
             stats.executed += 1
+            stats.stage_seconds["simulate"] += seconds
             done += 1
+            ENGINE_SPECS.labels(outcome="executed").inc()
+            if seconds > 0:
+                ENGINE_SPEC_SECONDS.observe(seconds)
+            if self.calibration is not None and seconds > 0 and nodes:
+                self.calibration.observe(
+                    nodes,
+                    spec.warmup + spec.measure + spec.drain,
+                    spec_load(spec),
+                    seconds,
+                )
             if progress is not None:
                 progress(done, len(unique), spec, False)
 
         if misses:
             parallel = self.max_workers > 1 and len(misses) >= self.serial_threshold
             try:
-                if parallel:
-                    pool = self._ensure_pool()
-                    pending = {
-                        pool.submit(
-                            _execute_remote, (spec.to_dict(), topology_for(spec))
-                        ): (key, spec)
-                        for key, spec in misses
-                    }
-                    while pending:
-                        finished, _ = wait(pending, return_when=FIRST_COMPLETED)
-                        for future in finished:
-                            key, spec = pending.pop(future)
-                            record(key, spec, SimResult.from_dict(future.result()))
-                else:
-                    for key, spec in misses:
-                        raw = spec.execute(topology=topology_for(spec))
-                        # Normalize through the codec so serial results match
-                        # cached/parallel ones byte-for-byte.
-                        record(key, spec, SimResult.from_dict(raw.to_dict()))
+                with span("engine.dispatch") as dispatch_span:
+                    if parallel:
+                        pool = self._ensure_pool()
+                        pending = {
+                            pool.submit(
+                                _execute_remote, (spec.to_dict(), topology_for(spec))
+                            ): (key, spec)
+                            for key, spec in misses
+                        }
+                        while pending:
+                            finished, _ = wait(pending, return_when=FIRST_COMPLETED)
+                            for future in finished:
+                                key, spec = pending.pop(future)
+                                reply = future.result()
+                                record(
+                                    key,
+                                    spec,
+                                    SimResult.from_dict(reply["result"]),
+                                    seconds=reply["seconds"],
+                                    nodes=reply["nodes"],
+                                )
+                    else:
+                        for key, spec in misses:
+                            topo = topology_for(spec)
+                            if topo is None:
+                                topo = resolve_topology(spec.topology, spec.layout)
+                            start = time.perf_counter()
+                            raw = spec.execute(topology=topo)
+                            elapsed = time.perf_counter() - start
+                            # Normalize through the codec so serial results
+                            # match cached/parallel ones byte-for-byte.
+                            record(
+                                key,
+                                spec,
+                                SimResult.from_dict(raw.to_dict()),
+                                seconds=elapsed,
+                                nodes=topo.num_nodes,
+                            )
+                stats.stage_seconds["dispatch"] = dispatch_span.seconds
             finally:
                 # One batched write-back per engine batch (a single
                 # transaction on a SQLite pack).  Flushed even when a miss
@@ -247,8 +335,11 @@ class ExperimentEngine:
                 # that *did* finish survives into the store — nothing a
                 # sharded campaign already paid for is re-simulated.
                 if self.cache is not None and executed:
-                    self.cache.put_many(executed)
+                    with span("engine.write_back") as write_span:
+                        self.cache.put_many(executed)
+                    stats.stage_seconds["write_back"] = write_span.seconds
 
+        stats.stage_seconds["total"] = time.perf_counter() - run_start
         self.last_stats = stats
         self.total_stats.accumulate(stats)
         return [results[spec.content_hash()] for spec in specs]

@@ -35,6 +35,7 @@ import json
 from dataclasses import asdict, dataclass, field
 from typing import ClassVar, Iterable, Iterator, Union
 
+from ..obs.calibration import COST_BASE_ACTIVITY, CostCalibration
 from ..routing import (
     DimensionOrderRouting,
     RoutingAlgorithm,
@@ -353,16 +354,35 @@ def shard_for_key(key: str, shard_count: int) -> int:
 
 #: Baseline activity of an idle-ish network relative to its offered load
 #: (router bookkeeping, warmup/drain overhead): keeps the predicted cost
-#: of near-zero-load points realistically non-zero.
-_COST_BASE_ACTIVITY = 0.25
+#: of near-zero-load points realistically non-zero.  Shared with the
+#: calibration table so heuristic and calibrated costs use one shape.
+_COST_BASE_ACTIVITY = COST_BASE_ACTIVITY
 
 
-def predicted_cost(spec: ExperimentSpec, num_nodes: int | None = None) -> float:
-    """Cheap relative cost estimate for one simulation point.
+def spec_load(spec: ExperimentSpec) -> float:
+    """Effective injected load of a spec in flits/node/cycle units.
 
-    The model is deliberately crude — simulated work scales with how
-    many cycles run, how many nodes inject, and how loaded the network
-    is::
+    Synthetic traffic carries its load directly; workload intensity is
+    messages/node/100 cycles, scaled into the same ballpark.  This is
+    the load term of :func:`predicted_cost` and of the calibration
+    buckets, factored out so both sides agree.
+    """
+    source = spec.source
+    if isinstance(source, SyntheticTraffic):
+        return source.load
+    return WORKLOADS[source.bench].intensity * source.intensity_scale / 100.0
+
+
+def predicted_cost(
+    spec: ExperimentSpec,
+    num_nodes: int | None = None,
+    calibration: "CostCalibration | None" = None,
+) -> float:
+    """Cost estimate for one simulation point.
+
+    Without ``calibration`` the model is deliberately crude — simulated
+    work scales with how many cycles run, how many nodes inject, and
+    how loaded the network is::
 
         cost = (warmup + measure + drain) * num_nodes * (base + load)
 
@@ -373,16 +393,23 @@ def predicted_cost(spec: ExperimentSpec, num_nodes: int | None = None) -> float:
     drawing all the hot points would gate the whole campaign).  Only
     ratios between specs matter, so the units are arbitrary.
 
+    With a :class:`~repro.obs.calibration.CostCalibration` (and
+    ``num_nodes``), the estimate becomes **measured wall seconds**
+    whenever the spec's (network size, cycle budget) bucket has been
+    observed — the engine records every executed spec's wall time into
+    the table, so repeat campaigns converge toward real durations.
+    Specs whose bucket is missing fall back to the heuristic (callers
+    that must not mix units, like LPT partitioning, check coverage
+    first — see ``campaign._spec_costs``).
+
     ``num_nodes`` comes from the campaign layer, which holds the live
     topology objects; without it the model still orders same-network
     specs correctly (the common case — one campaign, one grid).
     """
     cycles = spec.warmup + spec.measure + spec.drain
-    source = spec.source
-    if isinstance(source, SyntheticTraffic):
-        load = source.load
-    else:
-        # Workload intensity is messages/node/100 cycles; scale to the
-        # flits/node/cycle ballpark synthetic loads live in.
-        load = WORKLOADS[source.bench].intensity * source.intensity_scale / 100.0
+    load = spec_load(spec)
+    if calibration is not None and num_nodes is not None:
+        seconds = calibration.seconds_for(num_nodes, cycles, load)
+        if seconds is not None:
+            return seconds
     return float(cycles) * float(num_nodes or 1) * (_COST_BASE_ACTIVITY + load)

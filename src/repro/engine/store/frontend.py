@@ -32,16 +32,17 @@ server on another machine.
 
 from __future__ import annotations
 
-import logging
 import os
 from pathlib import Path
 from typing import Iterable, Sequence
 
+from ...obs import get_logger
+from ...obs.metrics import CACHE_REQUESTS
 from ...sim import SimResult
 from ..spec import ExperimentSpec, iter_spec_keys
 from .base import MAX_BYTES_ENV, CacheBackend, CacheStats, GCReport, open_backend
 
-logger = logging.getLogger("repro.engine.store")
+logger = get_logger("engine.store")
 
 #: Auto-GC evicts below the threshold by this factor (a low watermark),
 #: so a store sitting at capacity regains headroom instead of re-running
@@ -109,8 +110,10 @@ class ResultCache:
         payload = self.backend.get_payload(key, kind)
         if payload is None:
             self.misses += 1
+            CACHE_REQUESTS.labels(outcome="miss").inc()
         else:
             self.hits += 1
+            CACHE_REQUESTS.labels(outcome="hit").inc()
         return payload
 
     def put_payload(
@@ -138,6 +141,10 @@ class ResultCache:
         found = self.backend.get_payload_many(by_key, kind="sim")
         self.hits += len(found)
         self.misses += len(by_key) - len(found)
+        if found:
+            CACHE_REQUESTS.labels(outcome="hit").inc(len(found))
+        if len(by_key) > len(found):
+            CACHE_REQUESTS.labels(outcome="miss").inc(len(by_key) - len(found))
         return {key: SimResult.from_dict(payload) for key, payload in found.items()}
 
     def put(self, spec: ExperimentSpec, result: SimResult) -> int:

@@ -32,6 +32,9 @@ of endpoints, versioned by ``PROTOCOL_VERSION``:
 method endpoint             body -> response
 ====== ==================== ==========================================
 GET    ``/health``          -> ``{ok, protocol, schema, location}``
+GET    ``/metrics``         -> Prometheus text exposition (0.0.4) of
+                            the server process's metrics registry;
+                            unauthenticated read-only, like /health
 GET    ``/keys``            -> ``{keys: [...]}``
 GET    ``/stats``           -> ``CacheStats`` fields (counters zero)
 GET    ``/size``            -> ``{size_bytes}``
@@ -65,6 +68,14 @@ from dataclasses import asdict
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from typing import Callable, Iterable, Iterator
 
+from ...obs import get_logger, store_op
+from ...obs.metrics import (
+    REGISTRY,
+    SERVER_ERRORS,
+    SERVER_REQUESTS,
+    SERVER_SECONDS,
+    STORE_RETRIES,
+)
 from .base import (
     SCHEMA_VERSION,
     CacheBackend,
@@ -73,6 +84,9 @@ from .base import (
     RawEntry,
     chunked,
 )
+
+_client_log = get_logger("store.remote")
+_serve_log = get_logger("serve")
 
 #: Bearer token honored by both the client (outgoing header) and the
 #: ``repro serve`` CLI (required token) when set in the environment.
@@ -149,33 +163,52 @@ class RemoteStore:
         if self.token:
             headers["Authorization"] = f"Bearer {self.token}"
         last: Exception | None = None
-        for attempt in range(self.retries):
-            if attempt:
-                self._sleep(self.backoff * (2 ** (attempt - 1)))
-            request = urllib.request.Request(
-                f"{self.url}/{endpoint}",
-                data=data,
-                headers=headers,
-                method="GET" if data is None else "POST",
-            )
-            try:
-                with urllib.request.urlopen(request, timeout=self.timeout) as resp:
-                    return json.loads(resp.read().decode("utf-8"))
-            except urllib.error.HTTPError as exc:
-                if exc.code in (401, 403):
-                    raise RemoteAuthError(
-                        f"{self.url} rejected the request (HTTP {exc.code}): "
-                        f"set {TOKEN_ENV} to the token the server was "
-                        "started with"
-                    ) from None
-                if exc.code not in _RETRY_STATUSES:
-                    raise RemoteStoreError(
-                        f"{self.url}/{endpoint} failed: HTTP {exc.code} "
-                        f"{exc.reason}"
-                    ) from None
-                last = exc
-            except (TimeoutError, OSError) as exc:  # URLError is an OSError
-                last = exc
+        # One store_op spans all attempts: the latency histogram reports
+        # what the *caller* waited, backoff sleeps included; per-attempt
+        # churn shows up in repro_store_retries_total instead.
+        with store_op("remote", endpoint) as op:
+            if data is not None:
+                op.add_bytes(len(data))
+            for attempt in range(self.retries):
+                if attempt:
+                    STORE_RETRIES.labels(endpoint=endpoint).inc()
+                    _client_log.debug(
+                        "retrying %s/%s (attempt %d/%d): %s",
+                        self.url,
+                        endpoint,
+                        attempt + 1,
+                        self.retries,
+                        last,
+                    )
+                    self._sleep(self.backoff * (2 ** (attempt - 1)))
+                request = urllib.request.Request(
+                    f"{self.url}/{endpoint}",
+                    data=data,
+                    headers=headers,
+                    method="GET" if data is None else "POST",
+                )
+                try:
+                    with urllib.request.urlopen(
+                        request, timeout=self.timeout
+                    ) as resp:
+                        raw = resp.read()
+                        op.add_bytes(len(raw))
+                        return json.loads(raw.decode("utf-8"))
+                except urllib.error.HTTPError as exc:
+                    if exc.code in (401, 403):
+                        raise RemoteAuthError(
+                            f"{self.url} rejected the request (HTTP {exc.code}): "
+                            f"set {TOKEN_ENV} to the token the server was "
+                            "started with"
+                        ) from None
+                    if exc.code not in _RETRY_STATUSES:
+                        raise RemoteStoreError(
+                            f"{self.url}/{endpoint} failed: HTTP {exc.code} "
+                            f"{exc.reason}"
+                        ) from None
+                    last = exc
+                except (TimeoutError, OSError) as exc:  # URLError is an OSError
+                    last = exc
         raise RemoteStoreError(
             f"remote store {self.url} is unreachable after {self.retries} "
             f"attempts (last error: {last}); is `python -m repro serve` "
@@ -363,13 +396,23 @@ class _StoreHandler(BaseHTTPRequestHandler):
     server_version = f"repro-store/{PROTOCOL_VERSION}"
 
     def log_message(self, fmt: str, *args) -> None:
+        # Request lines ride the repro.* logger hierarchy (visible once
+        # `configure_logging` runs, silent for library users) instead of
+        # being hard-printed to stderr by the stdlib default.
         if not getattr(self.server, "quiet", False):
-            BaseHTTPRequestHandler.log_message(self, fmt, *args)
+            _serve_log.info("%s %s", self.address_string(), fmt % args)
 
     def _reply(self, status: int, payload: dict) -> None:
         blob = json.dumps(payload).encode("utf-8")
+        self._send(status, blob, "application/json")
+
+    def _reply_text(self, status: int, text: str, content_type: str) -> None:
+        self._send(status, text.encode("utf-8"), content_type)
+
+    def _send(self, status: int, blob: bytes, content_type: str) -> None:
+        self._status = status
         self.send_response(status)
-        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Type", content_type)
         self.send_header("Content-Length", str(len(blob)))
         self.end_headers()
         self.wfile.write(blob)
@@ -388,7 +431,29 @@ class _StoreHandler(BaseHTTPRequestHandler):
         )
 
     def _dispatch(self, routes: dict, payload: dict) -> None:
+        """Time and count every request around the actual handling."""
+        start = time.perf_counter()
         path = "/" + self.path.strip("/")
+        self._status = 500  # if _handle dies before replying
+        try:
+            self._handle(routes, path, payload)
+        finally:
+            known = (
+                path in _GET_ROUTES
+                or path in _POST_ROUTES
+                or path in ("/health", "/metrics")
+            )
+            endpoint = path if known else "other"
+            SERVER_REQUESTS.labels(endpoint=endpoint, method=self.command).inc()
+            SERVER_SECONDS.labels(endpoint=endpoint).observe(
+                time.perf_counter() - start
+            )
+            if self._status >= 400:
+                SERVER_ERRORS.labels(
+                    endpoint=endpoint, status=str(self._status)
+                ).inc()
+
+    def _handle(self, routes: dict, path: str, payload: dict) -> None:
         if self.server.fail_requests > 0:  # test hook: transient failures
             self.server.fail_requests -= 1
             return self._reply(503, {"error": "injected transient failure"})
@@ -401,6 +466,14 @@ class _StoreHandler(BaseHTTPRequestHandler):
                     "schema": SCHEMA_VERSION,
                     "location": self.server.backend.location,
                 },
+            )
+        if path == "/metrics" and self.command == "GET":
+            # Unauthenticated read-only scrape, like /health: exposes
+            # operational counters, never cached results.
+            return self._reply_text(
+                200,
+                REGISTRY.render(),
+                "text/plain; version=0.0.4; charset=utf-8",
             )
         if not self._authorized():
             return self._reply(401, {"error": "missing or invalid bearer token"})

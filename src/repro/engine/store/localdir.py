@@ -27,6 +27,7 @@ import time
 from pathlib import Path
 from typing import Iterable, Iterator
 
+from ...obs import store_op
 from .base import (
     SCHEMA_VERSION,
     CacheStats,
@@ -35,6 +36,9 @@ from .base import (
     encode_entry,
     entry_is_unreachable,
 )
+
+#: Metrics label for this backend (``repro_store_*{backend="dir"}``).
+_BACKEND = "dir"
 
 
 class LocalDirStore:
@@ -57,24 +61,30 @@ class LocalDirStore:
     # -- payloads -----------------------------------------------------------
 
     def get_payload(self, key: str, kind: str) -> dict | None:
-        path = self.path_for_key(key)
-        try:
-            entry = json.loads(path.read_text(encoding="utf-8"))
-        except (OSError, ValueError):
-            return None
-        result = entry.get("result")
-        if (
-            entry.get("schema") != SCHEMA_VERSION
-            or entry.get("kind") != kind
-            or result is None
-        ):
-            return None
-        try:
-            # Touch on read: mtime order is the LRU order gc() evicts in.
-            os.utime(path)
-        except OSError:
-            pass
-        return result
+        # Singular reads are the instrumentation funnel: the *_many
+        # forms loop over them, so counting here covers both without
+        # double counting.
+        with store_op(_BACKEND, "get") as op:
+            path = self.path_for_key(key)
+            try:
+                text = path.read_text(encoding="utf-8")
+                entry = json.loads(text)
+            except (OSError, ValueError):
+                return None
+            op.add_bytes(len(text))
+            result = entry.get("result")
+            if (
+                entry.get("schema") != SCHEMA_VERSION
+                or entry.get("kind") != kind
+                or result is None
+            ):
+                return None
+            try:
+                # Touch on read: mtime order is the LRU order gc() evicts in.
+                os.utime(path)
+            except OSError:
+                pass
+            return result
 
     def get_payload_many(self, keys: Iterable[str], kind: str) -> dict[str, dict]:
         found: dict[str, dict] = {}
@@ -103,16 +113,18 @@ class LocalDirStore:
     # -- raw entries --------------------------------------------------------
 
     def get_entry(self, key: str) -> RawEntry | None:
-        path = self.path_for_key(key)
-        try:
-            text = path.read_text(encoding="utf-8")
-            mtime = path.stat().st_mtime
-            entry = json.loads(text)
-        except (OSError, ValueError):
-            return None
-        if not isinstance(entry, dict):
-            return None
-        return RawEntry(key=key, entry=entry, mtime=mtime)
+        with store_op(_BACKEND, "get_entry") as op:
+            path = self.path_for_key(key)
+            try:
+                text = path.read_text(encoding="utf-8")
+                mtime = path.stat().st_mtime
+                entry = json.loads(text)
+            except (OSError, ValueError):
+                return None
+            if not isinstance(entry, dict):
+                return None
+            op.add_bytes(len(text))
+            return RawEntry(key=key, entry=entry, mtime=mtime)
 
     def get_entry_many(self, keys: Iterable[str]) -> dict[str, RawEntry]:
         found: dict[str, RawEntry] = {}
@@ -123,23 +135,25 @@ class LocalDirStore:
         return found
 
     def put_entry(self, key: str, entry: dict, mtime: float | None = None) -> int:
-        path = self.path_for_key(key)
-        path.parent.mkdir(parents=True, exist_ok=True)
-        blob = encode_entry(entry)
-        fd, tmp = tempfile.mkstemp(dir=path.parent, suffix=".tmp")
-        try:
-            with os.fdopen(fd, "w", encoding="utf-8") as handle:
-                handle.write(blob)
-            if mtime is not None:
-                os.utime(tmp, (mtime, mtime))
-            os.replace(tmp, path)
-        except BaseException:
+        with store_op(_BACKEND, "put") as op:
+            path = self.path_for_key(key)
+            path.parent.mkdir(parents=True, exist_ok=True)
+            blob = encode_entry(entry)
+            fd, tmp = tempfile.mkstemp(dir=path.parent, suffix=".tmp")
             try:
-                os.unlink(tmp)
-            except OSError:
-                pass
-            raise
-        return len(blob)
+                with os.fdopen(fd, "w", encoding="utf-8") as handle:
+                    handle.write(blob)
+                if mtime is not None:
+                    os.utime(tmp, (mtime, mtime))
+                os.replace(tmp, path)
+            except BaseException:
+                try:
+                    os.unlink(tmp)
+                except OSError:
+                    pass
+                raise
+            op.add_bytes(len(blob))
+            return len(blob)
 
     def put_entry_many(self, entries: Iterable[RawEntry]) -> int:
         written = 0
@@ -203,6 +217,15 @@ class LocalDirStore:
         max_age_days: float | None = None,
         now: float | None = None,
     ) -> GCReport:
+        with store_op(_BACKEND, "gc"):
+            return self._gc(max_bytes=max_bytes, max_age_days=max_age_days, now=now)
+
+    def _gc(
+        self,
+        max_bytes: int | None = None,
+        max_age_days: float | None = None,
+        now: float | None = None,
+    ) -> GCReport:
         now = time.time() if now is None else now
         survivors: list[tuple[float, int, Path]] = []  # (mtime, size, path)
         removed: list[tuple[int, Path]] = []
@@ -251,11 +274,12 @@ class LocalDirStore:
                     pass  # non-empty
 
     def clear(self) -> int:
-        files = self._entry_files()
-        for path in files:
-            path.unlink()
-        self._prune_empty_shards()
-        return len(files)
+        with store_op(_BACKEND, "clear"):
+            files = self._entry_files()
+            for path in files:
+                path.unlink()
+            self._prune_empty_shards()
+            return len(files)
 
     def close(self) -> None:
         pass

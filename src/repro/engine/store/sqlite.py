@@ -29,6 +29,7 @@ import time
 from pathlib import Path
 from typing import Iterable, Iterator
 
+from ...obs import store_op
 from .base import (
     SCHEMA_VERSION,
     CacheStats,
@@ -38,6 +39,11 @@ from .base import (
     encode_entry,
     entry_is_unreachable,
 )
+
+#: Metrics label for this backend (``repro_store_*{backend="sqlite"}``).
+#: The batch methods are the funnels here — the singular forms delegate
+#: to them, the inverse of the directory store's layout.
+_BACKEND = "sqlite"
 
 _SCHEMA_SQL = """
 CREATE TABLE IF NOT EXISTS entries (
@@ -133,28 +139,31 @@ class SqlitePackStore:
         wanted = list(dict.fromkeys(keys))
         if not wanted:
             return {}
-        conn = self._connect()
-        found: dict[str, dict] = {}
-        now = time.time()
-        for chunk in chunked(wanted):
-            marks = ",".join("?" * len(chunk))
-            query = f"SELECT key, entry FROM entries WHERE key IN ({marks})"
-            rows = conn.execute(query, chunk).fetchall()
-            hits = []
-            for key, text in rows:
-                payload = self._check(text, kind)
-                if payload is not None:
-                    found[key] = payload
-                    hits.append(key)
-            if hits:
-                # Touch on read: mtime order is the LRU order gc() evicts in.
-                marks = ",".join("?" * len(hits))
-                conn.execute(
-                    f"UPDATE entries SET mtime = ? WHERE key IN ({marks})",
-                    [now, *hits],
-                )
-        conn.commit()
-        return found
+        with store_op(_BACKEND, "get") as op:
+            conn = self._connect()
+            found: dict[str, dict] = {}
+            now = time.time()
+            for chunk in chunked(wanted):
+                marks = ",".join("?" * len(chunk))
+                query = f"SELECT key, entry FROM entries WHERE key IN ({marks})"
+                rows = conn.execute(query, chunk).fetchall()
+                hits = []
+                for key, text in rows:
+                    payload = self._check(text, kind)
+                    if payload is not None:
+                        found[key] = payload
+                        hits.append(key)
+                        op.add_bytes(len(text))
+                if hits:
+                    # Touch on read: mtime order is the LRU order gc()
+                    # evicts in.
+                    marks = ",".join("?" * len(hits))
+                    conn.execute(
+                        f"UPDATE entries SET mtime = ? WHERE key IN ({marks})",
+                        [now, *hits],
+                    )
+            conn.commit()
+            return found
 
     def put_payload(
         self, key: str, kind: str, result: dict, spec: dict | None = None
@@ -164,23 +173,25 @@ class SqlitePackStore:
     def put_payload_many(
         self, items: Iterable[tuple[str, str, dict, dict | None]]
     ) -> int:
-        rows = []
-        now = time.time()
-        written = 0
-        for key, kind, result, spec in items:
-            entry = {"schema": SCHEMA_VERSION, "kind": kind, "result": result}
-            if spec is not None:
-                entry["spec"] = spec
-            blob = encode_entry(entry)
-            written += len(blob)
-            rows.append((key, kind, blob, len(blob), now))
-        if rows:
-            conn = self._connect()
-            conn.executemany(
-                "INSERT OR REPLACE INTO entries VALUES (?, ?, ?, ?, ?)", rows
-            )
-            conn.commit()
-        return written
+        with store_op(_BACKEND, "put") as op:
+            rows = []
+            now = time.time()
+            written = 0
+            for key, kind, result, spec in items:
+                entry = {"schema": SCHEMA_VERSION, "kind": kind, "result": result}
+                if spec is not None:
+                    entry["spec"] = spec
+                blob = encode_entry(entry)
+                written += len(blob)
+                rows.append((key, kind, blob, len(blob), now))
+            if rows:
+                conn = self._connect()
+                conn.executemany(
+                    "INSERT OR REPLACE INTO entries VALUES (?, ?, ?, ?, ?)", rows
+                )
+                conn.commit()
+            op.add_bytes(written)
+            return written
 
     # -- raw entries --------------------------------------------------------
 
@@ -192,18 +203,22 @@ class SqlitePackStore:
         found: dict[str, RawEntry] = {}
         if not wanted:
             return found
-        conn = self._connect()
-        for chunk in chunked(wanted):
-            marks = ",".join("?" * len(chunk))
-            query = f"SELECT key, entry, mtime FROM entries WHERE key IN ({marks})"
-            for key, text, mtime in conn.execute(query, chunk):
-                try:
-                    entry = json.loads(text)
-                except ValueError:
-                    continue
-                if isinstance(entry, dict):
-                    found[key] = RawEntry(key=key, entry=entry, mtime=mtime)
-        return found
+        with store_op(_BACKEND, "get_entry") as op:
+            conn = self._connect()
+            for chunk in chunked(wanted):
+                marks = ",".join("?" * len(chunk))
+                query = (
+                    f"SELECT key, entry, mtime FROM entries WHERE key IN ({marks})"
+                )
+                for key, text, mtime in conn.execute(query, chunk):
+                    try:
+                        entry = json.loads(text)
+                    except ValueError:
+                        continue
+                    if isinstance(entry, dict):
+                        found[key] = RawEntry(key=key, entry=entry, mtime=mtime)
+                        op.add_bytes(len(text))
+            return found
 
     def put_entry(self, key: str, entry: dict, mtime: float | None = None) -> int:
         raw = RawEntry(
@@ -212,20 +227,22 @@ class SqlitePackStore:
         return self.put_entry_many([raw])
 
     def put_entry_many(self, entries: Iterable[RawEntry]) -> int:
-        rows = []
-        written = 0
-        for raw in entries:
-            blob = encode_entry(raw.entry)
-            written += len(blob)
-            kind = str(raw.entry.get("kind", ""))
-            rows.append((raw.key, kind, blob, len(blob), raw.mtime))
-        if rows:
-            conn = self._connect()
-            conn.executemany(
-                "INSERT OR REPLACE INTO entries VALUES (?, ?, ?, ?, ?)", rows
-            )
-            conn.commit()
-        return written
+        with store_op(_BACKEND, "put_entry") as op:
+            rows = []
+            written = 0
+            for raw in entries:
+                blob = encode_entry(raw.entry)
+                written += len(blob)
+                kind = str(raw.entry.get("kind", ""))
+                rows.append((raw.key, kind, blob, len(blob), raw.mtime))
+            if rows:
+                conn = self._connect()
+                conn.executemany(
+                    "INSERT OR REPLACE INTO entries VALUES (?, ?, ?, ?, ?)", rows
+                )
+                conn.commit()
+            op.add_bytes(written)
+            return written
 
     # -- maintenance --------------------------------------------------------
 
@@ -260,6 +277,15 @@ class SqlitePackStore:
         )
 
     def gc(
+        self,
+        max_bytes: int | None = None,
+        max_age_days: float | None = None,
+        now: float | None = None,
+    ) -> GCReport:
+        with store_op(_BACKEND, "gc"):
+            return self._gc(max_bytes=max_bytes, max_age_days=max_age_days, now=now)
+
+    def _gc(
         self,
         max_bytes: int | None = None,
         max_age_days: float | None = None,
@@ -302,9 +328,10 @@ class SqlitePackStore:
         )
 
     def clear(self) -> int:
-        conn = self._connect()
-        (count,) = conn.execute("SELECT COUNT(*) FROM entries").fetchone()
-        conn.execute("DELETE FROM entries")
-        conn.commit()
-        self._reclaim_pages(conn)
-        return count
+        with store_op(_BACKEND, "clear"):
+            conn = self._connect()
+            (count,) = conn.execute("SELECT COUNT(*) FROM entries").fetchone()
+            conn.execute("DELETE FROM entries")
+            conn.commit()
+            self._reclaim_pages(conn)
+            return count
