@@ -23,7 +23,14 @@ content-addressed on-disk result cache):
 * ``serve``   — share a result store over HTTP: ``python -m repro serve
   --store results.sqlite --port 8123 [--token T]`` turns any local
   store into a rendezvous point that every shard host can use as its
-  ``--cache-dir`` (see :mod:`repro.engine.store.http`).
+  ``--cache-dir``; add ``--queue`` to also coordinate a fault-tolerant
+  work queue for an elastic worker fleet (see
+  :mod:`repro.engine.store.http` and :mod:`repro.engine.queue`).
+* ``work``    — join a coordinator's work queue as an elastic worker:
+  ``python -m repro work http://host:8123 --workers 4``.  Workers claim
+  leased spec batches, heartbeat while simulating, and write results
+  back through the shared store; they can join late, crash, or be
+  killed — expired leases return their specs to the queue.
 * ``perf``    — simulator-core timing harness: ``python -m repro perf
   [--quick] [--check]`` reports simulated cycles/sec against the
   committed ``benchmarks/BENCH_sim_core.json`` baseline and the pre-
@@ -60,22 +67,39 @@ or over the network, with no file shipping::
                 --shard 1/2 --cache-dir http://host-c:8123 --workers 8
     any   $ python -m repro sweep sn200 --loads 0.02:0.5:0.02 \\
                 --cache-dir http://host-c:8123   # pure cache read
+
+Static shards assume every host survives; the work queue does not.
+``serve --queue`` plus any number of ``repro work`` processes drains
+the same campaign fault-tolerantly — leases expire when a worker dies
+and its specs are re-issued, completed results are never recomputed::
+
+    host-c$ python -m repro serve --store results.sqlite --queue
+    host-a$ python -m repro work http://host-c:8123 --workers 8
+    host-b$ python -m repro work http://host-c:8123 --workers 8
+    any   $ python -m repro sweep sn200 --loads 0.02:0.5:0.02 \\
+                --queue http://host-c:8123   # submit, wait, assemble
 """
 
 from __future__ import annotations
 
 import argparse
 import json
+import signal
 import sys
+import threading
+import time
 
 from .analysis import format_table
 from .engine import (
     ExperimentEngine,
+    QueueClient,
+    QueueWorker,
     RemoteStoreError,
     ResultCache,
     build_sweep_specs,
     build_workload_specs,
     estimate_campaign_seconds,
+    jobs_for_specs,
     run_compare,
     run_sweep,
     shard_specs,
@@ -95,7 +119,7 @@ from .traffic import SyntheticSource, workload_names
 
 _log = get_logger("cli")
 
-COMMANDS = ("info", "sweep", "compare", "workloads", "cache", "serve", "perf")
+COMMANDS = ("info", "sweep", "compare", "workloads", "cache", "serve", "work", "perf")
 
 
 def parse_loads(text: str) -> list[float]:
@@ -176,19 +200,22 @@ def _synthetic_grid(
     config: SimConfig,
     networks: list[str],
     patterns: list[str],
-) -> tuple[list[list], dict[str, int]]:
+) -> tuple[list[list], dict[str, int], dict[str, str]]:
     """The campaign's spec grid, grouped as the campaign layer shards it.
 
-    Returns ``(groups, node_counts)``: one spec group per independent
-    shard partition (``sweep`` partitions each pattern separately — one
-    ``run_sweep`` call each — while ``compare`` partitions all networks
-    together), plus the token → node-count map the cost model needs.
-    Built with the same :func:`build_sweep_specs` the campaign layer
-    uses, so content hashes — and therefore shard membership — match
-    the real run exactly.
+    Returns ``(groups, node_counts, symbols)``: one spec group per
+    independent shard partition (``sweep`` partitions each pattern
+    separately — one ``run_sweep`` call each — while ``compare``
+    partitions all networks together), the token → node-count map the
+    cost model needs, and the token → catalog-symbol map queue workers
+    rebuild topologies from.  Built with the same
+    :func:`build_sweep_specs` the campaign layer uses, so content
+    hashes — and therefore shard membership and queue keys — match the
+    real run exactly.
     """
     groups: list[list] = []
     node_counts: dict[str, int] = {}
+    symbols: dict[str, str] = {}
     for pattern in patterns:
         group: list = []
         for network in networks:
@@ -206,8 +233,9 @@ def _synthetic_grid(
             group.extend(specs)
             for token, topo in topo_map.items():
                 node_counts[token] = topo.num_nodes
+                symbols[token] = network
         groups.append(group)
-    return groups, node_counts
+    return groups, node_counts, symbols
 
 
 def _workload_grid(
@@ -353,54 +381,85 @@ def _curve_rows(curve) -> list[list]:
 
 
 def _add_engine_options(parser: argparse.ArgumentParser) -> None:
-    parser.add_argument("--workers", type=int, default=1,
-                        help="simulation worker processes (default 1)")
-    parser.add_argument("--no-cache", action="store_true",
-                        help="disable the on-disk result cache")
-    parser.add_argument("--cache-dir", default=None,
-                        help="result store: a cache directory (default "
-                             ".repro_cache), a .sqlite/.db/.pack file, a "
-                             "sqlite:/dir: URL, or an http:// 'repro "
-                             "serve' endpoint")
-    parser.add_argument("--shard", type=parse_shard, default=None,
-                        metavar="INDEX/COUNT",
-                        help="run only this shard of the campaign grid "
-                             "(e.g. 0/2; partitioned by spec content hash "
-                             "— disjoint, covering, order-independent); "
-                             "merge the shard stores with 'cache merge' "
-                             "(or point every shard at one 'repro serve' "
-                             "store), then rerun unsharded to assemble "
-                             "results from cache")
-    parser.add_argument("--shard-balance", choices=("hash", "cost"),
-                        default="hash",
-                        help="shard partition: 'hash' for even point "
-                             "counts (default), 'cost' to balance "
-                             "predicted work (load x network size x "
-                             "simulated cycles) across shards")
-    parser.add_argument("--progress", action="store_true",
-                        help="live one-line progress on stderr (done/total, "
-                             "cache hits, ETA from the measured-cost "
-                             "calibration table) instead of per-point lines")
-    parser.add_argument("--quiet", action="store_true",
-                        help="suppress per-point progress on stderr")
+    parser.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        help="simulation worker processes (default 1)",
+    )
+    parser.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="disable the on-disk result cache",
+    )
+    parser.add_argument(
+        "--cache-dir",
+        default=None,
+        help="result store: a cache directory (default .repro_cache), a "
+        ".sqlite/.db/.pack file, a sqlite:/dir: URL, or an http:// "
+        "'repro serve' endpoint",
+    )
+    parser.add_argument(
+        "--shard",
+        type=parse_shard,
+        default=None,
+        metavar="INDEX/COUNT",
+        help="run only this shard of the campaign grid (e.g. 0/2; "
+        "partitioned by spec content hash — disjoint, covering, "
+        "order-independent); merge the shard stores with 'cache merge' "
+        "(or point every shard at one 'repro serve' store), then rerun "
+        "unsharded to assemble results from cache",
+    )
+    parser.add_argument(
+        "--shard-balance",
+        choices=("hash", "cost"),
+        default="hash",
+        help="shard partition: 'hash' for even point counts (default), "
+        "'cost' to balance predicted work (load x network size x "
+        "simulated cycles) across shards",
+    )
+    parser.add_argument(
+        "--progress",
+        action="store_true",
+        help="live one-line progress on stderr (done/total, cache hits, "
+        "ETA from the measured-cost calibration table) instead of "
+        "per-point lines",
+    )
+    parser.add_argument(
+        "--quiet",
+        action="store_true",
+        help="suppress per-point progress on stderr",
+    )
 
 
 def _add_sim_options(parser: argparse.ArgumentParser) -> None:
-    parser.add_argument("--loads", type=parse_loads,
-                        default=[0.008, 0.06, 0.16, 0.30],
-                        help="comma list or start:stop:step range "
-                             "(flits/node/cycle)")
-    parser.add_argument("--preset", choices=sorted(BUFFERING_STRATEGIES),
-                        default=None, help="buffering strategy preset")
-    parser.add_argument("--smart", action="store_true",
-                        help="enable SMART links (H=9)")
+    parser.add_argument(
+        "--loads",
+        type=parse_loads,
+        default=[0.008, 0.06, 0.16, 0.30],
+        help="comma list or start:stop:step range (flits/node/cycle)",
+    )
+    parser.add_argument(
+        "--preset",
+        choices=sorted(BUFFERING_STRATEGIES),
+        default=None,
+        help="buffering strategy preset",
+    )
+    parser.add_argument(
+        "--smart",
+        action="store_true",
+        help="enable SMART links (H=9)",
+    )
     parser.add_argument("--packet-flits", type=int, default=6)
     parser.add_argument("--seed", type=int, default=1)
     parser.add_argument("--warmup", type=int, default=300)
     parser.add_argument("--measure", type=int, default=800)
     parser.add_argument("--drain", type=int, default=1500)
-    parser.add_argument("--no-stop", action="store_true",
-                        help="simulate every load, even past saturation")
+    parser.add_argument(
+        "--no-stop",
+        action="store_true",
+        help="simulate every load, even past saturation",
+    )
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -417,20 +476,40 @@ def build_parser() -> argparse.ArgumentParser:
 
     sweep = sub.add_parser("sweep", help="latency-load curves for one network")
     sweep.add_argument("network", help="catalog symbol or node count")
-    sweep.add_argument("--patterns", default="RND",
-                       help="comma list of pattern acronyms (default RND)")
-    sweep.add_argument("--json", dest="json_path", default=None,
-                       help="also write curves + engine stats as JSON")
+    sweep.add_argument(
+        "--patterns",
+        default="RND",
+        help="comma list of pattern acronyms (default RND)",
+    )
+    sweep.add_argument(
+        "--json",
+        dest="json_path",
+        default=None,
+        help="also write curves + engine stats as JSON",
+    )
+    sweep.add_argument(
+        "--queue",
+        default=None,
+        metavar="URL",
+        help="submit the grid to a 'repro serve --queue' coordinator, "
+        "wait for the worker fleet to drain it, then assemble the "
+        "curves from the shared store (a pure cache read); "
+        "incompatible with --shard",
+    )
     _add_sim_options(sweep)
     _add_engine_options(sweep)
 
     compare = sub.add_parser("compare", help="several networks, one pattern")
-    compare.add_argument("networks", nargs="+",
-                         help="catalog symbols or node counts")
+    compare.add_argument(
+        "networks", nargs="+", help="catalog symbols or node counts"
+    )
     compare.add_argument("--pattern", default="RND")
-    compare.add_argument("--model", action="store_true",
-                         help="use the analytical large-scale model instead "
-                              "of cycle-accurate simulation (for N=1296)")
+    compare.add_argument(
+        "--model",
+        action="store_true",
+        help="use the analytical large-scale model instead of "
+        "cycle-accurate simulation (for N=1296)",
+    )
     _add_sim_options(compare)
     _add_engine_options(compare)
 
@@ -438,20 +517,39 @@ def build_parser() -> argparse.ArgumentParser:
         "workloads",
         help="PARSEC/SPLASH workload models with the power/EDP join (Fig 18)",
     )
-    workloads.add_argument("networks", nargs="+",
-                           help="catalog symbols (cycle times are per symbol)")
-    workloads.add_argument("--benches", default="barnes,fft,ocean-c,water-s",
-                           help="comma list of benchmark names "
-                                "(default barnes,fft,ocean-c,water-s)")
-    workloads.add_argument("--baseline", default=None,
-                           help="EDP normalisation network "
-                                "(default: first network)")
-    workloads.add_argument("--intensity-scale", type=float, default=1.0,
-                           help="multiply each benchmark's injection intensity")
-    workloads.add_argument("--no-smart", action="store_true",
-                           help="disable SMART links (Figure 18 uses SMART)")
-    workloads.add_argument("--json", dest="json_path", default=None,
-                           help="also write rows as JSON to this path")
+    workloads.add_argument(
+        "networks",
+        nargs="+",
+        help="catalog symbols (cycle times are per symbol)",
+    )
+    workloads.add_argument(
+        "--benches",
+        default="barnes,fft,ocean-c,water-s",
+        help="comma list of benchmark names "
+        "(default barnes,fft,ocean-c,water-s)",
+    )
+    workloads.add_argument(
+        "--baseline",
+        default=None,
+        help="EDP normalisation network (default: first network)",
+    )
+    workloads.add_argument(
+        "--intensity-scale",
+        type=float,
+        default=1.0,
+        help="multiply each benchmark's injection intensity",
+    )
+    workloads.add_argument(
+        "--no-smart",
+        action="store_true",
+        help="disable SMART links (Figure 18 uses SMART)",
+    )
+    workloads.add_argument(
+        "--json",
+        dest="json_path",
+        default=None,
+        help="also write rows as JSON to this path",
+    )
     workloads.add_argument("--seed", type=int, default=3)
     workloads.add_argument("--warmup", type=int, default=300)
     workloads.add_argument("--measure", type=int, default=600)
@@ -462,53 +560,170 @@ def build_parser() -> argparse.ArgumentParser:
         "cache",
         help="result-store maintenance",
         description="Result-store maintenance.  A two-host campaign "
-                    "rendezvous looks like: run each shard with "
-                    "--shard I/N --cache-dir shard-I.sqlite, ship the "
-                    "packs to one host, 'cache merge shard-0.sqlite "
-                    "shard-1.sqlite', then rerun unsharded — a pure "
-                    "cache read.",
+        "rendezvous looks like: run each shard with --shard I/N "
+        "--cache-dir shard-I.sqlite, ship the packs to one host, "
+        "'cache merge shard-0.sqlite shard-1.sqlite', then rerun "
+        "unsharded — a pure cache read.",
     )
-    cache.add_argument("action", choices=("stats", "clear", "gc", "export",
-                                          "merge"))
-    cache.add_argument("stores", nargs="*", metavar="STORE",
-                       help="export: one destination store; merge: source "
-                            "stores to copy in (directories, .sqlite/.db/"
-                            ".pack files, or sqlite:/dir: URLs)")
+    cache.add_argument(
+        "action", choices=("stats", "clear", "gc", "export", "merge")
+    )
+    cache.add_argument(
+        "stores",
+        nargs="*",
+        metavar="STORE",
+        help="export: one destination store; merge: source stores to "
+        "copy in (directories, .sqlite/.db/.pack files, or "
+        "sqlite:/dir: URLs)",
+    )
     cache.add_argument("--cache-dir", default=None)
-    cache.add_argument("--max-bytes", type=int, default=None,
-                       help="gc: evict LRU entries until the store fits")
-    cache.add_argument("--max-age", type=float, default=None, metavar="DAYS",
-                       help="gc: evict entries untouched for this many days")
+    cache.add_argument(
+        "--max-bytes",
+        type=int,
+        default=None,
+        help="gc: evict LRU entries until the store fits",
+    )
+    cache.add_argument(
+        "--max-age",
+        type=float,
+        default=None,
+        metavar="DAYS",
+        help="gc: evict entries untouched for this many days",
+    )
 
     serve = sub.add_parser(
         "serve",
         help="share a result store over HTTP (sharded-campaign rendezvous)",
         description="Serve a local result store over the JSON/HTTP wire "
-                    "protocol so shard hosts can use it as their "
-                    "--cache-dir (http://HOST:PORT) — results rendezvous "
-                    "over the network instead of shipping pack files.  "
-                    "Stop with Ctrl-C; the store is an ordinary pack/"
-                    "directory afterwards.",
+        "protocol so shard hosts can use it as their --cache-dir "
+        "(http://HOST:PORT) — results rendezvous over the network "
+        "instead of shipping pack files.  With --queue the server also "
+        "coordinates a fault-tolerant work queue that 'repro work' "
+        "processes drain.  Stop with Ctrl-C or SIGTERM: in-flight "
+        "requests finish, queue state is persisted, and the store is "
+        "closed cleanly (an ordinary pack/directory afterwards).",
     )
-    serve.add_argument("--store", default="store.sqlite",
-                       help="store to serve: a .sqlite/.db/.pack file "
-                            "(default store.sqlite, created on first "
-                            "write), a cache directory, or a sqlite:/dir: "
-                            "URL")
-    serve.add_argument("--host", default="127.0.0.1",
-                       help="bind address (default 127.0.0.1; use 0.0.0.0 "
-                            "to accept other hosts)")
-    serve.add_argument("--port", type=int, default=8123,
-                       help="TCP port (default 8123; 0 picks a free port)")
-    serve.add_argument("--token", default=None,
-                       help="require 'Authorization: Bearer TOKEN' on every "
-                            "request (default: REPRO_CACHE_TOKEN if set; "
-                            "clients send the same variable)")
+    serve.add_argument(
+        "--store",
+        default="store.sqlite",
+        help="store to serve: a .sqlite/.db/.pack file (default "
+        "store.sqlite, created on first write), a cache directory, or "
+        "a sqlite:/dir: URL",
+    )
+    serve.add_argument(
+        "--host",
+        default="127.0.0.1",
+        help="bind address (default 127.0.0.1; use 0.0.0.0 to accept "
+        "other hosts)",
+    )
+    serve.add_argument(
+        "--port",
+        type=int,
+        default=8123,
+        help="TCP port (default 8123; 0 picks a free port)",
+    )
+    serve.add_argument(
+        "--token",
+        default=None,
+        help="require 'Authorization: Bearer TOKEN' on every request "
+        "(default: REPRO_CACHE_TOKEN if set; clients send the same "
+        "variable)",
+    )
+    serve.add_argument(
+        "--queue",
+        action="store_true",
+        help="coordinate a work queue on this store (endpoints "
+        "queue/submit..queue/status); state persists through the store "
+        "and is rebuilt on restart",
+    )
+    serve.add_argument(
+        "--lease-seconds",
+        type=float,
+        default=60.0,
+        help="work-queue lease duration; a worker silent this long "
+        "forfeits its batch back to the queue (default 60)",
+    )
+    serve.add_argument(
+        "--quarantine-after",
+        type=int,
+        default=2,
+        help="park a spec after it fails this many distinct workers "
+        "(default 2)",
+    )
+    serve.add_argument(
+        "--max-attempts",
+        type=int,
+        default=5,
+        help="park a spec after this many failed attempts in total, "
+        "regardless of worker identity (default 5)",
+    )
+    serve.add_argument(
+        "--fail-every",
+        type=int,
+        default=0,
+        metavar="N",
+        help="chaos testing: fail every Nth store request with an "
+        "injected 503 (0 disables; /health and /metrics are exempt)",
+    )
+
+    work = sub.add_parser(
+        "work",
+        help="join a 'repro serve --queue' coordinator as an elastic worker",
+        description="Claim leased spec batches from a coordinator's work "
+        "queue, simulate them, and write results back through the shared "
+        "store.  Any number of workers may run concurrently and join or "
+        "leave mid-campaign; a killed worker's lease expires and its "
+        "specs are re-issued to the survivors.  SIGINT/SIGTERM drains "
+        "gracefully: the in-flight batch finishes and its lease is "
+        "settled before exit (a second signal exits immediately).",
+    )
+    work.add_argument("url", help="coordinator URL (http://host:8123)")
+    work.add_argument(
+        "--id",
+        dest="worker_id",
+        default=None,
+        help="worker identity shown in queue/status and quarantine "
+        "reports (default host-pid)",
+    )
+    work.add_argument(
+        "--max-specs",
+        type=int,
+        default=4,
+        help="specs to claim per lease (default 4)",
+    )
+    work.add_argument(
+        "--poll",
+        type=float,
+        default=2.0,
+        metavar="SECONDS",
+        help="idle wait between claims while the queue is empty "
+        "(default 2)",
+    )
+    work.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        help="simulation worker processes for claimed batches (default 1)",
+    )
+    work.add_argument(
+        "--token",
+        default=None,
+        help="bearer token (default: REPRO_CACHE_TOKEN if set)",
+    )
+    work.add_argument(
+        "--json",
+        dest="json_path",
+        default=None,
+        help="write the worker's tally as JSON to this path on exit",
+    )
 
     # Listed for --help only; dispatch short-circuits to repro.perf.
-    sub.add_parser("perf", help="simulator-core timing harness "
-                               "(see python -m repro perf --help)",
-                   add_help=False)
+    sub.add_parser(
+        "perf",
+        help="simulator-core timing harness "
+        "(see python -m repro perf --help)",
+        add_help=False,
+    )
     return parser
 
 
@@ -522,62 +737,85 @@ def cmd_info(args: argparse.Namespace) -> int:
     probe = sim.run(
         SyntheticSource(topology, "RND", 0.05), warmup=200, measure=500, drain=1000
     )
-    print(format_table(
-        ["property", "value"],
-        [
-            ["name", topology.name],
-            ["nodes", topology.num_nodes],
-            ["routers", topology.num_routers],
-            ["network radix k'", topology.network_radix],
-            ["router radix k", topology.router_radix],
-            ["diameter", topology.diameter],
-            ["avg wire [hops]", round(topology.average_wire_length(), 2)],
-            ["area [mm^2]", round(area.total, 1)],
-            ["static power [W]", round(power.total, 2)],
-            ["latency @0.05 RND [cyc]", round(probe.avg_latency, 1)],
-            ["throughput @0.05", round(probe.throughput, 4)],
-        ],
-        title="Network summary (45nm, SMART, RTT buffers)",
-    ))
+    print(
+        format_table(
+            ["property", "value"],
+            [
+                ["name", topology.name],
+                ["nodes", topology.num_nodes],
+                ["routers", topology.num_routers],
+                ["network radix k'", topology.network_radix],
+                ["router radix k", topology.router_radix],
+                ["diameter", topology.diameter],
+                ["avg wire [hops]", round(topology.average_wire_length(), 2)],
+                ["area [mm^2]", round(area.total, 1)],
+                ["static power [W]", round(power.total, 2)],
+                ["latency @0.05 RND [cyc]", round(probe.avg_latency, 1)],
+                ["throughput @0.05", round(probe.throughput, 4)],
+            ],
+            title="Network summary (45nm, SMART, RTT buffers)",
+        )
+    )
     return 0
 
 
 def cmd_sweep(args: argparse.Namespace) -> int:
     config = _build_config(args)
     patterns = [p for p in args.patterns.split(",") if p]
+    if args.queue is not None:
+        return _sweep_queued(args, config, patterns)
     curves = {}
     with _build_engine(args) as engine:
-        groups, node_counts = _synthetic_grid(args, config, [args.network], patterns)
+        groups, node_counts, _symbols = _synthetic_grid(
+            args, config, [args.network], patterns
+        )
         progress, line = _campaign_progress(args, engine, groups, node_counts)
         if args.shard is not None and not args.quiet:
             _print_shard_eta(args, engine, groups, node_counts)
         for pattern in patterns:
             before = engine.total_stats.snapshot()
             curve = run_sweep(
-                engine, args.network, pattern, args.loads,
-                config=config, packet_flits=args.packet_flits, seed=args.seed,
-                warmup=args.warmup, measure=args.measure, drain=args.drain,
-                stop_after_saturation=not args.no_stop, shard=args.shard,
-                shard_balance=args.shard_balance, progress=progress,
+                engine,
+                args.network,
+                pattern,
+                args.loads,
+                config=config,
+                packet_flits=args.packet_flits,
+                seed=args.seed,
+                warmup=args.warmup,
+                measure=args.measure,
+                drain=args.drain,
+                stop_after_saturation=not args.no_stop,
+                shard=args.shard,
+                shard_balance=args.shard_balance,
+                progress=progress,
             )
             curves[pattern] = curve
             if line is not None:
                 line.finish()
             stats = engine.total_stats.since(before)
             if args.shard is not None:
-                title = (f"{args.network} / {pattern} "
-                         f"[shard {args.shard[0]}/{args.shard[1]}: "
-                         f"{len(curve.points)} of {len(args.loads)} points]")
+                title = (
+                    f"{args.network} / {pattern} "
+                    f"[shard {args.shard[0]}/{args.shard[1]}: "
+                    f"{len(curve.points)} of {len(args.loads)} points]"
+                )
             else:
-                title = (f"{args.network} / {pattern} (sat throughput "
-                         f"{curve.saturation_throughput():.4f})")
-            print(format_table(
-                ["load", "latency [cyc]", "throughput"],
-                _curve_rows(curve),
-                title=title,
-            ))
-            print(f"  engine: {stats.cache_hits} cached, "
-                  f"{stats.executed} simulated, {stats.workers} workers\n")
+                title = (
+                    f"{args.network} / {pattern} (sat throughput "
+                    f"{curve.saturation_throughput():.4f})"
+                )
+            print(
+                format_table(
+                    ["load", "latency [cyc]", "throughput"],
+                    _curve_rows(curve),
+                    title=title,
+                )
+            )
+            print(
+                f"  engine: {stats.cache_hits} cached, "
+                f"{stats.executed} simulated, {stats.workers} workers\n"
+            )
         total = engine.total_stats
         _print_stage_seconds(total)
         _save_calibration(engine)
@@ -594,6 +832,109 @@ def cmd_sweep(args: argparse.Namespace) -> int:
     return 0
 
 
+def _sweep_queued(
+    args: argparse.Namespace, config: SimConfig, patterns: list[str]
+) -> int:
+    """``sweep --queue URL``: submit the grid, wait for the fleet, then
+    assemble the curves from the coordinator's store.
+
+    The submit is idempotent (keys are content hashes), so rerunning a
+    crashed submit-and-wait is safe; specs whose results are already in
+    the store are marked done at submit time and never re-issued.  The
+    final assembly is the ordinary unsharded sweep pointed at the
+    coordinator URL — a pure cache read once the queue drains.
+    """
+    if args.shard is not None:
+        raise ValueError(
+            "--queue and --shard are mutually exclusive: the queue "
+            "balances work across the fleet dynamically"
+        )
+    if args.no_cache:
+        raise ValueError(
+            "--queue needs the cache: results rendezvous in the "
+            "coordinator's store"
+        )
+    url = args.queue
+    groups, node_counts, symbols = _synthetic_grid(
+        args, config, [args.network], patterns
+    )
+    specs = [spec for group in groups for spec in group]
+    jobs = jobs_for_specs(specs, node_counts, default_calibration())
+    client = QueueClient(url)
+    reply = client.submit(jobs, symbols)
+    if not args.quiet:
+        print(
+            f"  queue: submitted {len(jobs)} specs to {url} "
+            f"({reply['accepted']} accepted, {reply['cached']} already "
+            f"cached, {reply['duplicates']} already queued)",
+            file=sys.stderr,
+        )
+    _wait_for_queue(args, client)
+    # The queue is drained: every result is in the coordinator's store.
+    # Assemble with the ordinary sweep path (saturation staging and all)
+    # pointed at that store — zero simulations by construction.
+    args.queue = None
+    args.cache_dir = url
+    return cmd_sweep(args)
+
+
+def _wait_for_queue(args: argparse.Namespace, client: QueueClient) -> dict:
+    """Poll ``queue/status`` until the campaign drains.
+
+    Shows a live progress line (unless ``--quiet``) with claimed-vs-done
+    counts and an ETA extrapolated from the fleet's observed completion
+    pace.  Quarantined specs fail the wait loudly: their results will
+    never arrive, so assembling curves would silently re-simulate them
+    locally — surfacing the poison is the better failure.
+    """
+    poll = max(0.2, getattr(args, "poll", 1.0) or 1.0)
+    started = time.monotonic()
+    base_done: int | None = None
+    status: dict = {}
+    try:
+        while True:
+            status = client.status()
+            done = status["done"]
+            if base_done is None:
+                base_done = done
+            if not args.quiet:
+                elapsed = time.monotonic() - started
+                pace = (done - base_done) / elapsed if elapsed > 0 else 0.0
+                remaining = status["total"] - done - status["quarantined"]
+                eta = (
+                    f", eta ~{format_duration(remaining / pace)}"
+                    if pace > 0 and remaining > 0
+                    else ""
+                )
+                workers = len(status["workers"])
+                print(
+                    f"\r  queue: {done}/{status['total']} done, "
+                    f"{status['leased']} leased, {status['pending']} "
+                    f"pending, {workers} worker(s){eta}    ",
+                    end="",
+                    file=sys.stderr,
+                )
+            if status["drained"]:
+                break
+            time.sleep(poll)
+    finally:
+        if not args.quiet:
+            print(file=sys.stderr)
+    if status.get("quarantined"):
+        for item in status["quarantine"]:
+            print(
+                f"  quarantined {item['key'][:12]}… after "
+                f"{item['attempts']} attempts by "
+                f"{len(item['workers'])} worker(s): {item['error']}",
+                file=sys.stderr,
+            )
+        raise ValueError(
+            f"{status['quarantined']} spec(s) were quarantined by the "
+            "queue; fix the poison specs (or the workers) and resubmit"
+        )
+    return status
+
+
 def cmd_compare(args: argparse.Namespace) -> int:
     config = _build_config(args)
     if args.model and args.shard is not None:
@@ -607,25 +948,34 @@ def cmd_compare(args: argparse.Namespace) -> int:
 
             curves = model_curves(
                 {symbol: resolve_topology(symbol) for symbol in args.networks},
-                args.pattern, args.loads,
+                args.pattern,
+                args.loads,
                 config=replace(config, packet_flits=args.packet_flits),
                 cache=engine.cache if engine.cache is not None else False,
                 seed=args.seed,
             )
         else:
-            groups, node_counts = _synthetic_grid(
+            groups, node_counts, _symbols = _synthetic_grid(
                 args, config, args.networks, [args.pattern]
             )
             progress, line = _campaign_progress(args, engine, groups, node_counts)
             if args.shard is not None and not args.quiet:
                 _print_shard_eta(args, engine, groups, node_counts)
             curves = run_compare(
-                engine, {symbol: symbol for symbol in args.networks},
-                args.pattern, args.loads,
-                config=config, packet_flits=args.packet_flits, seed=args.seed,
-                warmup=args.warmup, measure=args.measure, drain=args.drain,
-                stop_after_saturation=not args.no_stop, shard=args.shard,
-                shard_balance=args.shard_balance, progress=progress,
+                engine,
+                {symbol: symbol for symbol in args.networks},
+                args.pattern,
+                args.loads,
+                config=config,
+                packet_flits=args.packet_flits,
+                seed=args.seed,
+                warmup=args.warmup,
+                measure=args.measure,
+                drain=args.drain,
+                stop_after_saturation=not args.no_stop,
+                shard=args.shard,
+                shard_balance=args.shard_balance,
+                progress=progress,
             )
             if line is not None:
                 line.finish()
@@ -635,33 +985,43 @@ def cmd_compare(args: argparse.Namespace) -> int:
         rows = []
         for label in args.networks:
             curve = curves[label]
-            rows.append([
-                label,
-                round(curve.zero_load_latency(), 2),
-                f"{curve.saturation_throughput():.4f}",
-                len(curve.points),
-            ])
-        print(format_table(
-            ["network", "zero-load latency", "sat throughput", "points"],
-            rows,
-            title=f"Pattern {args.pattern} over "
-                  f"{min(args.loads):g}..{max(args.loads):g}",
-        ))
+            rows.append(
+                [
+                    label,
+                    round(curve.zero_load_latency(), 2),
+                    f"{curve.saturation_throughput():.4f}",
+                    len(curve.points),
+                ]
+            )
+        print(
+            format_table(
+                ["network", "zero-load latency", "sat throughput", "points"],
+                rows,
+                title=f"Pattern {args.pattern} over "
+                f"{min(args.loads):g}..{max(args.loads):g}",
+            )
+        )
     else:
         computed = sum(len(curves[label].points) for label in args.networks)
         grid = len(args.networks) * len(args.loads)
-        print(f"shard {args.shard[0]}/{args.shard[1]}: computed {computed} "
-              f"of {grid} grid points (merge stores, then rerun unsharded "
-              "to assemble curves)")
-    print(f"  engine: {stats.cache_hits} cached, {stats.executed} simulated, "
-          f"{stats.workers} workers\n")
+        print(
+            f"shard {args.shard[0]}/{args.shard[1]}: computed {computed} "
+            f"of {grid} grid points (merge stores, then rerun unsharded "
+            "to assemble curves)"
+        )
+    print(
+        f"  engine: {stats.cache_hits} cached, {stats.executed} simulated, "
+        f"{stats.workers} workers\n"
+    )
     _print_stage_seconds(stats)
     for label in args.networks:
-        print(format_table(
-            ["load", "latency [cyc]", "throughput"],
-            _curve_rows(curves[label]),
-            title=f"{label} / {args.pattern}",
-        ))
+        print(
+            format_table(
+                ["load", "latency [cyc]", "throughput"],
+                _curve_rows(curves[label]),
+                title=f"{label} / {args.pattern}",
+            )
+        )
     return 0
 
 
@@ -683,11 +1043,16 @@ def cmd_workloads(args: argparse.Namespace) -> int:
         groups, node_counts = _workload_grid(args, benches)
         progress, line = _campaign_progress(args, engine, groups, node_counts)
         table = workload_table(
-            args.networks, benches,
+            args.networks,
+            benches,
             smart=not args.no_smart,
             intensity_scale=args.intensity_scale,
-            seed=args.seed, warmup=args.warmup, measure=args.measure,
-            drain=args.drain, engine=engine, progress=progress,
+            seed=args.seed,
+            warmup=args.warmup,
+            measure=args.measure,
+            drain=args.drain,
+            engine=engine,
+            progress=progress,
         )
         if line is not None:
             line.finish()
@@ -706,13 +1071,21 @@ def cmd_workloads(args: argparse.Namespace) -> int:
             ]
             for symbol in args.networks
         ]
-        print(format_table(
-            ["network", "latency [cyc]", "thr [f/n/c]", "power [W]",
-             "EDP [Js]", f"EDP/{baseline}"],
-            rows,
-            title=f"Workload '{bench}' "
-                  f"({'no SMART' if args.no_smart else 'SMART'}, 45nm)",
-        ))
+        print(
+            format_table(
+                [
+                    "network",
+                    "latency [cyc]",
+                    "thr [f/n/c]",
+                    "power [W]",
+                    "EDP [Js]",
+                    f"EDP/{baseline}",
+                ],
+                rows,
+                title=f"Workload '{bench}' "
+                f"({'no SMART' if args.no_smart else 'SMART'}, 45nm)",
+            )
+        )
         print()
     others = [sym for sym in args.networks if sym != baseline]
     if others and len(benches) > 1:
@@ -720,19 +1093,24 @@ def cmd_workloads(args: argparse.Namespace) -> int:
             f"{sym}: {edp_gain(edp, sym, baseline):+.0%}" for sym in others
         )
         print(f"  EDP gain vs {baseline} (geomean): {gains}")
-    print(f"  engine: {stats.cache_hits} cached, {stats.executed} simulated, "
-          f"{stats.workers} workers")
+    print(
+        f"  engine: {stats.cache_hits} cached, {stats.executed} simulated, "
+        f"{stats.workers} workers"
+    )
     _print_stage_seconds(stats)
     if args.json_path:
         payload = {
             "baseline": baseline,
             "rows": [
                 table[symbol][bench].to_dict()
-                for symbol in args.networks for bench in benches
+                for symbol in args.networks
+                for bench in benches
             ],
             "edp_normalized": edp,
-            "engine": {"cache_hits": stats.cache_hits,
-                       "simulated": stats.executed},
+            "engine": {
+                "cache_hits": stats.cache_hits,
+                "simulated": stats.executed,
+            },
         }
         with open(args.json_path, "w", encoding="utf-8") as handle:
             json.dump(payload, handle, indent=2, sort_keys=True)
@@ -756,11 +1134,18 @@ def _workloads_shard(args: argparse.Namespace, benches) -> int:
         if not args.quiet:
             _print_shard_eta(args, engine, groups, node_counts)
         table = workload_compare(
-            engine, {symbol: symbol for symbol in args.networks}, benches,
-            config=config, intensity_scale=args.intensity_scale,
-            seed=args.seed, warmup=args.warmup, measure=args.measure,
-            drain=args.drain, shard=args.shard,
-            shard_balance=args.shard_balance, progress=progress,
+            engine,
+            {symbol: symbol for symbol in args.networks},
+            benches,
+            config=config,
+            intensity_scale=args.intensity_scale,
+            seed=args.seed,
+            warmup=args.warmup,
+            measure=args.measure,
+            drain=args.drain,
+            shard=args.shard,
+            shard_balance=args.shard_balance,
+            progress=progress,
         )
         if line is not None:
             line.finish()
@@ -768,11 +1153,15 @@ def _workloads_shard(args: argparse.Namespace, benches) -> int:
         _save_calibration(engine)
     computed = sum(len(cells) for cells in table.values())
     grid = len(args.networks) * len(benches)
-    print(f"shard {args.shard[0]}/{args.shard[1]}: computed {computed} of "
-          f"{grid} grid points (merge stores, then rerun unsharded for the "
-          "power/EDP join)")
-    print(f"  engine: {stats.cache_hits} cached, {stats.executed} simulated, "
-          f"{stats.workers} workers")
+    print(
+        f"shard {args.shard[0]}/{args.shard[1]}: computed {computed} of "
+        f"{grid} grid points (merge stores, then rerun unsharded for the "
+        "power/EDP join)"
+    )
+    print(
+        f"  engine: {stats.cache_hits} cached, {stats.executed} simulated, "
+        f"{stats.workers} workers"
+    )
     if args.json_path:
         payload = {
             "shard": list(args.shard),
@@ -789,24 +1178,112 @@ def _workloads_shard(args: argparse.Namespace, benches) -> int:
 def cmd_serve(args: argparse.Namespace) -> int:
     import os
 
-    from .engine import RemoteStore, StoreServer, open_backend
+    from .engine import JobQueue, RemoteStore, StoreServer, open_backend
     from .engine.store import TOKEN_ENV
 
     backend = open_backend(args.store)
     if isinstance(backend, RemoteStore):
         raise ValueError("serve needs a local store, not another server's URL")
     token = args.token if args.token is not None else os.environ.get(TOKEN_ENV)
-    server = StoreServer(backend, host=args.host, port=args.port,
-                         token=token or None)
+    queue = None
+    if args.queue:
+        queue = JobQueue.load(
+            backend,
+            lease_seconds=args.lease_seconds,
+            quarantine_workers=args.quarantine_after,
+            max_attempts=args.max_attempts,
+        )
+    server = StoreServer(
+        backend,
+        host=args.host,
+        port=args.port,
+        token=token or None,
+        queue=queue,
+        fail_every=args.fail_every,
+    )
     auth = "token required" if token else "no auth"
-    print(f"serving {backend.location} at {server.url} ({auth}); "
-          "Ctrl-C to stop", file=sys.stderr)
+    mode = "store + work queue" if queue is not None else "store"
+    print(
+        f"serving {backend.location} at {server.url} ({mode}, {auth}); "
+        "Ctrl-C or SIGTERM to stop",
+        file=sys.stderr,
+    )
+    if args.fail_every:
+        print(
+            f"  chaos: failing every {args.fail_every}th request with 503",
+            file=sys.stderr,
+        )
+    # Graceful shutdown: the accept loop runs on a daemon thread while
+    # the main thread waits on an event the signal handlers set.  close()
+    # then stops accepting, joins in-flight request threads, persists
+    # queue state, and closes the backing store — a Ctrl-C mid-campaign
+    # never drops a SQLite write or the queue's bookkeeping.
+    stop = threading.Event()
+
+    def handle_signal(signum, frame) -> None:
+        stop.set()
+
+    previous = {
+        sig: signal.signal(sig, handle_signal)
+        for sig in (signal.SIGINT, signal.SIGTERM)
+    }
+    server.start()
     try:
-        server.serve_forever()
+        stop.wait()
+        print("shutting down: draining requests, closing store", file=sys.stderr)
     except KeyboardInterrupt:
         pass
     finally:
+        for sig, handler in previous.items():
+            signal.signal(sig, handler)
         server.close()
+    return 0
+
+
+def cmd_work(args: argparse.Namespace) -> int:
+    worker = QueueWorker(
+        args.url,
+        worker_id=args.worker_id,
+        max_specs=args.max_specs,
+        poll_seconds=args.poll,
+        max_workers=args.workers,
+        token=args.token,
+    )
+    signals_seen = 0
+
+    def handle_signal(signum, frame) -> None:
+        nonlocal signals_seen
+        signals_seen += 1
+        if signals_seen == 1:
+            print(
+                "\ndraining: finishing the in-flight batch, then exiting "
+                "(signal again to quit now)",
+                file=sys.stderr,
+            )
+            worker.request_stop()
+        else:
+            raise SystemExit(130)
+
+    previous = {
+        sig: signal.signal(sig, handle_signal)
+        for sig in (signal.SIGINT, signal.SIGTERM)
+    }
+    try:
+        stats = worker.run()
+    finally:
+        for sig, handler in previous.items():
+            signal.signal(sig, handler)
+    print(
+        f"worker {worker.worker_id}: {stats.leases} leases, "
+        f"{stats.done} done ({stats.cache_hits} cached, "
+        f"{stats.executed} simulated), {stats.failed} failed, "
+        f"{stats.released} released"
+    )
+    if args.json_path:
+        payload = {"worker": worker.worker_id, **stats.to_dict()}
+        with open(args.json_path, "w", encoding="utf-8") as handle:
+            json.dump(payload, handle, indent=2, sort_keys=True)
+        print(f"  wrote {args.json_path}")
     return 0
 
 
@@ -822,32 +1299,36 @@ def cmd_cache(args: argparse.Namespace) -> int:
         return 0
     if args.action == "gc":
         report = cache.gc(max_bytes=args.max_bytes, max_age_days=args.max_age)
-        print(format_table(
+        print(
+            format_table(
+                ["property", "value"],
+                [
+                    ["store", cache.location],
+                    ["scanned", report.scanned_entries],
+                    ["removed", report.removed_entries],
+                    ["removed [MB]", round(report.removed_bytes / 1e6, 2)],
+                    ["kept", report.kept_entries],
+                    ["kept [MB]", round(report.kept_bytes / 1e6, 2)],
+                ],
+                title="Result cache gc (LRU by mtime)",
+            )
+        )
+        return 0
+    stats = cache.stats()
+    print(
+        format_table(
             ["property", "value"],
             [
                 ["store", cache.location],
-                ["scanned", report.scanned_entries],
-                ["removed", report.removed_entries],
-                ["removed [MB]", round(report.removed_bytes / 1e6, 2)],
-                ["kept", report.kept_entries],
-                ["kept [MB]", round(report.kept_bytes / 1e6, 2)],
+                ["backend", type(cache.backend).__name__],
+                ["entries", stats.entries],
+                ["size [MB]", round(stats.size_mb, 2)],
+                ["reclaimable entries", stats.reclaimable_entries],
+                ["reclaimable [MB]", round(stats.reclaimable_bytes / 1e6, 2)],
             ],
-            title="Result cache gc (LRU by mtime)",
-        ))
-        return 0
-    stats = cache.stats()
-    print(format_table(
-        ["property", "value"],
-        [
-            ["store", cache.location],
-            ["backend", type(cache.backend).__name__],
-            ["entries", stats.entries],
-            ["size [MB]", round(stats.size_mb, 2)],
-            ["reclaimable entries", stats.reclaimable_entries],
-            ["reclaimable [MB]", round(stats.reclaimable_bytes / 1e6, 2)],
-        ],
-        title="Result cache",
-    ))
+            title="Result cache",
+        )
+    )
     return 0
 
 
@@ -861,11 +1342,13 @@ def _cache_transfer(cache: ResultCache, args: argparse.Namespace) -> int:
             raise ValueError("cache export takes exactly one destination store")
         destination = open_backend(args.stores[0])
         report = merge_stores(destination, cache.backend)
-        print(f"exported {cache.location} -> {destination.location}: "
-              f"{report.copied} copied "
-              f"({round(report.copied_bytes / 1e6, 2)} MB), "
-              f"{report.skipped} already present, "
-              f"{report.conflicts} conflicts kept theirs")
+        print(
+            f"exported {cache.location} -> {destination.location}: "
+            f"{report.copied} copied "
+            f"({round(report.copied_bytes / 1e6, 2)} MB), "
+            f"{report.skipped} already present, "
+            f"{report.conflicts} conflicts kept theirs"
+        )
         destination.close()
         return 0
     if not args.stores:
@@ -873,11 +1356,13 @@ def _cache_transfer(cache: ResultCache, args: argparse.Namespace) -> int:
     for source_location in args.stores:
         source = open_backend(source_location)
         report = merge_stores(cache.backend, source)
-        print(f"merged {source.location} -> {cache.location}: "
-              f"{report.copied} copied "
-              f"({round(report.copied_bytes / 1e6, 2)} MB), "
-              f"{report.skipped} already present, "
-              f"{report.conflicts} conflicts kept ours")
+        print(
+            f"merged {source.location} -> {cache.location}: "
+            f"{report.copied} copied "
+            f"({round(report.copied_bytes / 1e6, 2)} MB), "
+            f"{report.skipped} already present, "
+            f"{report.conflicts} conflicts kept ours"
+        )
         source.close()
     return 0
 
@@ -904,6 +1389,7 @@ def main(argv: list[str]) -> int:
         "workloads": cmd_workloads,
         "cache": cmd_cache,
         "serve": cmd_serve,
+        "work": cmd_work,
     }[args.command]
     try:
         return handler(args)

@@ -21,7 +21,13 @@ into an incremental, parallel pipeline:
   staged early stop on saturation, (network × benchmark) workload
   campaigns (:func:`workload_compare`), and deterministic shard
   partitioning (:func:`shard_specs`) for splitting one campaign across
-  hosts.
+  hosts;
+* :mod:`~repro.engine.queue` / :mod:`~repro.engine.worker` — the
+  fault-tolerant work queue (:class:`JobQueue` behind ``repro serve
+  --queue``) and the elastic :class:`QueueWorker` fleet loop
+  (``python -m repro work``): leased batches, heartbeats, expired-lease
+  requeue, and poison-spec quarantine, so workers can join, crash, or
+  be killed at any point and the campaign still drains.
 
 Specs carry a tagged traffic union — synthetic patterns *or*
 PARSEC/SPLASH workload models — so every experiment class in the repo
@@ -45,7 +51,16 @@ or rendezvoused over the network, with no file shipping at all::
     host-b$ python -m repro sweep sn200 --shard 1/2 --cache-dir http://c:8123
     any   $ python -m repro sweep sn200 --cache-dir http://c:8123  # 0 sims
 
-Re-running either form performs zero new simulations: every point is
+or, fault-tolerantly, drained from one work queue by an elastic fleet
+(workers may join late, crash, or be killed — leases expire and their
+specs are re-issued)::
+
+    host-c$ python -m repro serve --store results.sqlite --queue
+    host-a$ python -m repro work http://c:8123
+    host-b$ python -m repro work http://c:8123
+    any   $ python -m repro sweep sn200 --queue http://c:8123
+
+Re-running any form performs zero new simulations: every point is
 served from the cache.
 """
 
@@ -60,6 +75,7 @@ from .campaign import (
     shard_specs,
     workload_compare,
 )
+from .queue import JobQueue, QueueClient, QueueJob, jobs_for_specs
 from .runner import ExperimentEngine, RunStats, default_engine
 from .spec import (
     SPEC_VERSION,
@@ -81,7 +97,9 @@ from .store import (
     TOKEN_ENV,
     CacheBackend,
     CacheStats,
+    FaultyBackend,
     GCReport,
+    InjectedFault,
     LocalDirStore,
     MergeReport,
     RemoteAuthError,
@@ -94,12 +112,19 @@ from .store import (
     merge_stores,
     open_backend,
 )
+from .worker import QueueWorker, WorkerStats, default_worker_id
 
 __all__ = [
     "ExperimentSpec",
     "ExperimentEngine",
     "CacheBackend",
+    "FaultyBackend",
+    "InjectedFault",
+    "JobQueue",
     "LocalDirStore",
+    "QueueClient",
+    "QueueJob",
+    "QueueWorker",
     "SqlitePackStore",
     "RemoteStore",
     "RemoteStoreError",
@@ -110,6 +135,7 @@ __all__ = [
     "GCReport",
     "MergeReport",
     "RunStats",
+    "WorkerStats",
     "SCHEMA_VERSION",
     "SHARD_BALANCE_MODES",
     "SPEC_VERSION",
@@ -134,6 +160,8 @@ __all__ = [
     "build_sweep_specs",
     "build_workload_specs",
     "assemble_curve",
+    "default_worker_id",
+    "jobs_for_specs",
     "run_sweep",
     "run_compare",
     "workload_compare",

@@ -21,7 +21,10 @@ results merged back into a single store:
 * :mod:`~repro.engine.store.frontend` — :class:`ResultCache`, the
   engine-facing wrapper adding the SimResult codec, hit counters,
   batched ``get_many``/``put_many``, and the ``REPRO_CACHE_MAX_BYTES``
-  auto-GC.
+  auto-GC;
+* :mod:`~repro.engine.store.faulty` — :class:`FaultyBackend`, a
+  deterministic fault-injection wrapper around any backend (chaos
+  tests for the engine's write-back and the queue's retry paths).
 
 Backends are selected by location: a directory path keeps the classic
 layout, ``*.sqlite``/``*.db``/``*.pack`` files or ``sqlite:`` URLs open
@@ -49,6 +52,7 @@ from .base import (
     merge_stores,
     open_backend,
 )
+from .faulty import DEFAULT_FAILABLE_OPS, FaultyBackend, InjectedFault
 from .frontend import ResultCache
 from .http import (
     DEFAULT_PORT,
@@ -66,6 +70,7 @@ __all__ = [
     "BACKEND_ENV",
     "CACHE_DIR_ENV",
     "DEFAULT_CACHE_DIR",
+    "DEFAULT_FAILABLE_OPS",
     "DEFAULT_PORT",
     "MAX_BYTES_ENV",
     "PACK_SUFFIXES",
@@ -75,7 +80,9 @@ __all__ = [
     "TOKEN_ENV",
     "CacheBackend",
     "CacheStats",
+    "FaultyBackend",
     "GCReport",
+    "InjectedFault",
     "LocalDirStore",
     "MergeReport",
     "RawEntry",

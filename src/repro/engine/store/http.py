@@ -46,7 +46,20 @@ POST   ``/entries/put``     ``{entries: [{key, entry, mtime}]}`` -> ``{written}`
 POST   ``/gc``              ``{max_bytes?, max_age_days?, now?}``
                             -> ``GCReport`` fields
 POST   ``/clear``           ``{}`` -> ``{removed}``
+GET    ``/queue/status``    -> campaign progress snapshot
+POST   ``/queue/submit``    ``{jobs: [{key, spec, cost}], topologies}``
+                            -> ``{accepted, cached, duplicates, total}``
+POST   ``/queue/claim``     ``{worker, max_specs}`` -> ``{state, lease?}``
+POST   ``/queue/heartbeat`` ``{lease}`` -> ``{ok, lease_seconds?}``
+POST   ``/queue/complete``  ``{lease, worker, done, failed, released}``
+                            -> ``{ok, known_lease, quarantined}``
 ====== ==================== ==========================================
+
+The ``queue/*`` endpoints exist only when the server was started with a
+:class:`~repro.engine.queue.JobQueue` (``repro serve --queue``) and —
+unlike the read-only ``/health`` and ``/metrics`` — always require the
+bearer token when one is configured: queue submissions carry arbitrary
+spec payloads that workers will execute.
 
 Batched calls are chunked client-side with the same
 :func:`~repro.engine.store.base.chunked` bound the SQLite backend uses,
@@ -60,13 +73,17 @@ from __future__ import annotations
 import hmac
 import json
 import os
+import random
 import threading
 import time
 import urllib.error
 import urllib.request
 from dataclasses import asdict
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
-from typing import Callable, Iterable, Iterator
+from typing import TYPE_CHECKING, Callable, Iterable, Iterator, Mapping
+
+if TYPE_CHECKING:
+    from ..queue import JobQueue
 
 from ...obs import get_logger, store_op
 from ...obs.metrics import (
@@ -111,6 +128,31 @@ class RemoteAuthError(RemoteStoreError):
     """The server rejected the request's bearer token (401/403)."""
 
 
+def _parse_retry_after(value: str | None) -> float | None:
+    """Seconds from a ``Retry-After`` header, or ``None`` to use backoff.
+
+    Only the delta-seconds form is honored; the HTTP-date form (rare
+    from coordinators we control) falls back to computed backoff.
+    """
+    if not value:
+        return None
+    try:
+        seconds = float(value)
+    except ValueError:
+        return None
+    return seconds if seconds >= 0 else None
+
+
+def _error_detail(exc: urllib.error.HTTPError) -> str:
+    """The server's ``{"error": ...}`` body as a message suffix, if any."""
+    try:
+        body = json.loads(exc.read().decode("utf-8"))
+        message = body.get("error")
+    except (OSError, ValueError, AttributeError):
+        return ""
+    return f" ({message})" if message else ""
+
+
 class RemoteStore:
     """:class:`CacheBackend` client for a ``repro serve`` endpoint.
 
@@ -120,8 +162,18 @@ class RemoteStore:
             ``REPRO_CACHE_TOKEN`` environment variable.
         timeout: Per-request socket timeout in seconds.
         retries: Total attempts per request (first try included).
-        backoff: Base delay between attempts; doubles each retry.
+        backoff: Cap on the delay before attempt ``n``; the actual
+            delay is full-jitter: uniform in ``[0, backoff * 2**(n-1)]``
+            so a fleet of workers retrying a restarted coordinator
+            spreads out instead of thundering-herding it in lockstep.
+            A ``Retry-After`` header on a 429/503 response overrides
+            the computed delay — the server knows best.
+        max_retry_seconds: Wall-clock budget across all of a request's
+            retries; once spent, the next retry is abandoned with a
+            clear error even if attempts remain.
         sleep: Injection point for the backoff delay (tests).
+        jitter: Injection point for the jitter draw in ``[0, 1)``;
+            pass ``lambda: 1.0`` for deterministic worst-case delays.
     """
 
     def __init__(
@@ -132,14 +184,18 @@ class RemoteStore:
         timeout: float = 30.0,
         retries: int = 4,
         backoff: float = 0.2,
+        max_retry_seconds: float = 120.0,
         sleep: Callable[[float], None] = time.sleep,
+        jitter: Callable[[], float] = random.random,
     ):
         self.url = url.rstrip("/")
         self.token = token if token is not None else os.environ.get(TOKEN_ENV) or None
         self.timeout = timeout
         self.retries = max(1, retries)
         self.backoff = backoff
+        self.max_retry_seconds = max_retry_seconds
         self._sleep = sleep
+        self._jitter = jitter
 
     @property
     def location(self) -> str:
@@ -155,14 +211,21 @@ class RemoteStore:
 
         ``payload=None`` issues a GET; anything else POSTs its JSON
         encoding.  Permanent failures (4xx other than throttling) raise
-        immediately; transient ones retry ``self.retries`` times and
-        then surface one :class:`RemoteStoreError` naming the server.
+        immediately; transient ones retry ``self.retries`` times — each
+        delay full-jitter exponential, or whatever ``Retry-After`` the
+        server sent on a 429/503 — and then surface one
+        :class:`RemoteStoreError` naming the server.  The retry budget
+        is also bounded by :attr:`max_retry_seconds` of wall clock, so
+        a long outage fails with a clear error instead of stalling a
+        worker indefinitely.
         """
         data = None if payload is None else json.dumps(payload).encode("utf-8")
         headers = {"Content-Type": "application/json"}
         if self.token:
             headers["Authorization"] = f"Bearer {self.token}"
         last: Exception | None = None
+        retry_after: float | None = None
+        started = time.monotonic()
         # One store_op spans all attempts: the latency histogram reports
         # what the *caller* waited, backoff sleeps included; per-attempt
         # churn shows up in repro_store_retries_total instead.
@@ -171,16 +234,31 @@ class RemoteStore:
                 op.add_bytes(len(data))
             for attempt in range(self.retries):
                 if attempt:
+                    if retry_after is not None:
+                        delay = max(0.0, retry_after)
+                    else:
+                        delay = self.backoff * (2 ** (attempt - 1)) * self._jitter()
+                    spent = time.monotonic() - started
+                    if spent + delay > self.max_retry_seconds:
+                        raise RemoteStoreError(
+                            f"remote store {self.url} still failing after "
+                            f"{attempt} attempts spanning {spent:.1f}s (retry "
+                            f"budget {self.max_retry_seconds:.0f}s, last "
+                            f"error: {last}); is `python -m repro serve` "
+                            "running there?"
+                        ) from last
                     STORE_RETRIES.labels(endpoint=endpoint).inc()
                     _client_log.debug(
-                        "retrying %s/%s (attempt %d/%d): %s",
+                        "retrying %s/%s (attempt %d/%d, delay %.2fs): %s",
                         self.url,
                         endpoint,
                         attempt + 1,
                         self.retries,
+                        delay,
                         last,
                     )
-                    self._sleep(self.backoff * (2 ** (attempt - 1)))
+                    self._sleep(delay)
+                retry_after = None
                 request = urllib.request.Request(
                     f"{self.url}/{endpoint}",
                     data=data,
@@ -202,10 +280,15 @@ class RemoteStore:
                             "started with"
                         ) from None
                     if exc.code not in _RETRY_STATUSES:
+                        detail = _error_detail(exc)
                         raise RemoteStoreError(
                             f"{self.url}/{endpoint} failed: HTTP {exc.code} "
-                            f"{exc.reason}"
+                            f"{exc.reason}{detail}"
                         ) from None
+                    if exc.code in (429, 503):
+                        retry_after = _parse_retry_after(
+                            exc.headers.get("Retry-After")
+                        )
                     last = exc
                 except (TimeoutError, OSError) as exc:  # URLError is an OSError
                     last = exc
@@ -383,6 +466,34 @@ _POST_ROUTES: dict[str, Callable[[CacheBackend, dict], dict]] = {
 }
 
 
+def _route_queue_complete(queue: "JobQueue", payload: dict) -> dict:
+    return queue.complete(
+        payload["lease"],
+        payload.get("worker", ""),
+        done=payload.get("done", ()),
+        failed=payload.get("failed", ()),
+        released=payload.get("released", ()),
+    )
+
+
+# Queue routes take the server's JobQueue, not the raw backend; they are
+# live only when `repro serve --queue` attached one.
+_QUEUE_GET_ROUTES: dict[str, Callable[["JobQueue", dict], dict]] = {
+    "/queue/status": lambda queue, payload: queue.status(),
+}
+
+_QUEUE_POST_ROUTES: dict[str, Callable[["JobQueue", dict], dict]] = {
+    "/queue/submit": lambda queue, payload: queue.submit(
+        payload["jobs"], payload.get("topologies")
+    ),
+    "/queue/claim": lambda queue, payload: queue.claim(
+        payload["worker"], payload.get("max_specs", 4)
+    ),
+    "/queue/heartbeat": lambda queue, payload: queue.heartbeat(payload["lease"]),
+    "/queue/complete": _route_queue_complete,
+}
+
+
 class _StoreHandler(BaseHTTPRequestHandler):
     """One request against the server's backing store.
 
@@ -402,18 +513,31 @@ class _StoreHandler(BaseHTTPRequestHandler):
         if not getattr(self.server, "quiet", False):
             _serve_log.info("%s %s", self.address_string(), fmt % args)
 
-    def _reply(self, status: int, payload: dict) -> None:
+    def _reply(
+        self,
+        status: int,
+        payload: dict,
+        headers: Mapping[str, str] | None = None,
+    ) -> None:
         blob = json.dumps(payload).encode("utf-8")
-        self._send(status, blob, "application/json")
+        self._send(status, blob, "application/json", headers)
 
     def _reply_text(self, status: int, text: str, content_type: str) -> None:
         self._send(status, text.encode("utf-8"), content_type)
 
-    def _send(self, status: int, blob: bytes, content_type: str) -> None:
+    def _send(
+        self,
+        status: int,
+        blob: bytes,
+        content_type: str,
+        headers: Mapping[str, str] | None = None,
+    ) -> None:
         self._status = status
         self.send_response(status)
         self.send_header("Content-Type", content_type)
         self.send_header("Content-Length", str(len(blob)))
+        for name, value in (headers or {}).items():
+            self.send_header(name, value)
         self.end_headers()
         self.wfile.write(blob)
 
@@ -441,6 +565,8 @@ class _StoreHandler(BaseHTTPRequestHandler):
             known = (
                 path in _GET_ROUTES
                 or path in _POST_ROUTES
+                or path in _QUEUE_GET_ROUTES
+                or path in _QUEUE_POST_ROUTES
                 or path in ("/health", "/metrics")
             )
             endpoint = path if known else "other"
@@ -453,10 +579,36 @@ class _StoreHandler(BaseHTTPRequestHandler):
                     endpoint=endpoint, status=str(self._status)
                 ).inc()
 
+    def _fault_injected(self, path: str) -> bool:
+        """Deterministic chaos: fail this request with an injected 503?
+
+        Two knobs, combinable: ``fail_requests`` (the next N requests
+        fail — ``inject_failures()`` / ``fail_next``) and ``fail_every``
+        (every Nth store request fails — steady-state fault rate for
+        soak tests).  ``/health`` and ``/metrics`` are exempt so
+        readiness polls and scrapes stay truthful while chaos runs.
+        """
+        if path in ("/health", "/metrics"):
+            return False
+        server = self.server
+        with server.fault_lock:
+            if server.fail_requests > 0:
+                server.fail_requests -= 1
+                return True
+            if server.fail_every > 0:
+                server.request_seq += 1
+                if server.request_seq % server.fail_every == 0:
+                    return True
+        return False
+
     def _handle(self, routes: dict, path: str, payload: dict) -> None:
-        if self.server.fail_requests > 0:  # test hook: transient failures
-            self.server.fail_requests -= 1
-            return self._reply(503, {"error": "injected transient failure"})
+        if self._fault_injected(path):
+            headers = None
+            if self.server.fail_retry_after is not None:
+                headers = {"Retry-After": str(self.server.fail_retry_after)}
+            return self._reply(
+                503, {"error": "injected transient failure"}, headers
+            )
         if path == "/health":
             return self._reply(
                 200,
@@ -477,6 +629,8 @@ class _StoreHandler(BaseHTTPRequestHandler):
             )
         if not self._authorized():
             return self._reply(401, {"error": "missing or invalid bearer token"})
+        if path.startswith("/queue/"):
+            return self._handle_queue(path, payload)
         route = routes.get(path)
         if route is None:
             return self._reply(
@@ -485,6 +639,31 @@ class _StoreHandler(BaseHTTPRequestHandler):
         try:
             with self.server.lock:
                 result = route(self.server.backend, payload)
+        except Exception as exc:  # surface, don't kill the worker thread
+            return self._reply(500, {"error": f"{type(exc).__name__}: {exc}"})
+        self._reply(200, result)
+
+    def _handle_queue(self, path: str, payload: dict) -> None:
+        queue = self.server.queue
+        if queue is None:
+            return self._reply(
+                404,
+                {"error": "work queue disabled; restart with `repro serve --queue`"},
+            )
+        routes = _QUEUE_GET_ROUTES if self.command == "GET" else _QUEUE_POST_ROUTES
+        route = routes.get(path)
+        if route is None:
+            return self._reply(
+                404, {"error": f"unknown endpoint {self.command} {path}"}
+            )
+        try:
+            # The server-wide lock also covers queue operations: they
+            # persist state and probe caches through the same backing
+            # store the cache endpoints serialize on.
+            with self.server.lock:
+                result = route(queue, payload)
+        except KeyError as exc:
+            return self._reply(400, {"error": f"missing field {exc}"})
         except Exception as exc:  # surface, don't kill the worker thread
             return self._reply(500, {"error": f"{type(exc).__name__}: {exc}"})
         self._reply(200, result)
@@ -518,15 +697,28 @@ class StoreServer:
         port: int = 0,
         token: str | None = None,
         quiet: bool = False,
+        queue: "JobQueue | None" = None,
+        fail_every: int = 0,
     ):
         self.backend = backend
+        self.queue = queue
         self._httpd = ThreadingHTTPServer((host, port), _StoreHandler)
-        self._httpd.daemon_threads = True
+        # Non-daemon + block_on_close: server_close() joins in-flight
+        # request threads, so close() really does drain before it
+        # persists queue state and closes the backend.  Handler threads
+        # are short-lived (HTTP/1.0, one request per connection), so
+        # the join is bounded by one request's service time.
+        self._httpd.daemon_threads = False
         self._httpd.backend = backend
         self._httpd.token = token
         self._httpd.lock = threading.Lock()
         self._httpd.quiet = quiet
+        self._httpd.queue = queue
+        self._httpd.fault_lock = threading.Lock()
         self._httpd.fail_requests = 0
+        self._httpd.fail_every = max(0, fail_every)
+        self._httpd.fail_retry_after = None
+        self._httpd.request_seq = 0
         self._thread: threading.Thread | None = None
 
     @property
@@ -541,9 +733,29 @@ class StoreServer:
     def url(self) -> str:
         return f"http://{self.host}:{self.port}"
 
-    def inject_failures(self, count: int) -> None:
-        """Make the next ``count`` requests fail with 503 (retry tests)."""
-        self._httpd.fail_requests = count
+    def inject_failures(
+        self, count: int, retry_after: float | None = None
+    ) -> None:
+        """Make the next ``count`` store requests fail with 503.
+
+        ``retry_after`` additionally stamps a ``Retry-After`` header on
+        every injected failure (it also applies to ``fail_every``
+        faults), exercising the client's server-directed delay path.
+        ``/health`` and ``/metrics`` are never failed.
+        """
+        with self._httpd.fault_lock:
+            self._httpd.fail_requests = count
+            self._httpd.fail_retry_after = retry_after
+
+    @property
+    def fail_every(self) -> int:
+        return self._httpd.fail_every
+
+    @fail_every.setter
+    def fail_every(self, every: int) -> None:
+        """Fail every ``every``-th store request with 503 (0 disables)."""
+        with self._httpd.fault_lock:
+            self._httpd.fail_every = max(0, every)
 
     def start(self) -> "StoreServer":
         self._thread = threading.Thread(target=self._httpd.serve_forever, daemon=True)
@@ -554,11 +766,21 @@ class StoreServer:
         self._httpd.serve_forever()
 
     def close(self) -> None:
+        """Stop accepting, drain in-flight requests, persist, close.
+
+        ``ThreadingHTTPServer.server_close`` joins the request threads
+        (``block_on_close``), so by the time the queue state is
+        persisted and the backend closed, no handler is mid-write —
+        this is what makes SIGINT/SIGTERM on ``repro serve`` safe for
+        a SQLite pack mid-campaign.
+        """
         if self._thread is not None:
             self._httpd.shutdown()
             self._thread.join(timeout=5.0)
             self._thread = None
         self._httpd.server_close()
+        if self.queue is not None:
+            self.queue.persist()
         self.backend.close()
 
     def __enter__(self) -> "StoreServer":

@@ -322,6 +322,38 @@ ENGINE_SPEC_SECONDS = REGISTRY.histogram(
     "repro_engine_spec_seconds",
     "Measured wall seconds per executed experiment spec",
 )
+QUEUE_DEPTH = REGISTRY.gauge(
+    "repro_queue_depth",
+    "Work-queue jobs by state (pending/leased/done/quarantined)",
+    ("state",),
+)
+QUEUE_SUBMITTED = REGISTRY.counter(
+    "repro_queue_submitted_total",
+    "Specs submitted to the work queue, by intake outcome",
+    ("outcome",),
+)
+QUEUE_COMPLETED = REGISTRY.counter(
+    "repro_queue_completed_total",
+    "Specs completed through the work queue",
+)
+QUEUE_REQUEUED = REGISTRY.counter(
+    "repro_queue_requeued_total",
+    "Specs returned to the pending queue, by reason",
+    ("reason",),
+)
+QUEUE_QUARANTINED = REGISTRY.counter(
+    "repro_queue_quarantined_total",
+    "Specs parked after repeated worker failures",
+)
+QUEUE_LEASES = REGISTRY.counter(
+    "repro_queue_leases_total",
+    "Leases granted to queue workers",
+)
+QUEUE_HEARTBEATS = REGISTRY.counter(
+    "repro_queue_heartbeats_total",
+    "Lease heartbeats received, by outcome (ok/unknown)",
+    ("outcome",),
+)
 
 
 # ---------------------------------------------------------------------------

@@ -445,7 +445,7 @@ class TestRemoteStore:
     def test_retry_with_backoff_on_transient_failures(self, server):
         sleeps = []
         store = remote_store(
-            server, retries=4, backoff=0.05, sleep=sleeps.append
+            server, retries=4, backoff=0.05, sleep=sleeps.append, jitter=lambda: 1.0
         )
         store.put_payload("aa" * 32, "sim", {"x": 1})
         server.inject_failures(2)
