@@ -38,11 +38,17 @@ content-addressed on-disk result cache):
 
 Repeating a ``sweep``/``compare`` with identical parameters performs
 zero new simulations — every point is served from the cache.  Stores
-are pluggable: a ``--cache-dir`` ending in ``.sqlite``/``.db``/``.pack``
-(or ``REPRO_CACHE_BACKEND=sqlite``) packs the whole store into one
-WAL-mode SQLite file instead of a JSON directory tree, and an
-``http://host:port`` value talks to a ``repro serve`` endpoint
-(``REPRO_CACHE_TOKEN`` supplies the bearer token when required).
+are pluggable through explicit ``--cache-dir`` location schemes:
+``dir:PATH`` (or a plain directory path) keeps the JSON tree,
+``sqlite:PATH`` packs the store into one WAL-mode SQLite file,
+``http://host:port`` talks to a ``repro serve`` endpoint
+(``REPRO_CACHE_TOKEN`` supplies the bearer token when required), and
+``s3://bucket/prefix`` / ``obj:http://host:port/bucket/prefix`` write
+straight into an object-store bucket (boto3 for real S3, or any
+S3-compatible endpoint named by ``REPRO_OBJECT_ENDPOINT`` — no
+coordinator host at all).  The historical suffix-sniffed forms
+(``*.sqlite``/``*.db``/``*.pack`` paths, ``REPRO_CACHE_BACKEND=sqlite``)
+keep working as deprecated aliases that log a one-line warning.
 
 Campaigns too large for one machine split with ``--shard INDEX/COUNT``
 (disjoint, covering, stable under reordering; ``--shard-balance cost``
@@ -396,8 +402,10 @@ def _add_engine_options(parser: argparse.ArgumentParser) -> None:
         "--cache-dir",
         default=None,
         help="result store: a cache directory (default .repro_cache), a "
-        ".sqlite/.db/.pack file, a sqlite:/dir: URL, or an http:// "
-        "'repro serve' endpoint",
+        "sqlite:/dir: URL, an http:// 'repro serve' endpoint, or an "
+        "s3://bucket/prefix / obj:http://host:port/bucket/prefix "
+        "object-store bucket (.sqlite/.db/.pack paths still work as "
+        "deprecated aliases)",
     )
     parser.add_argument(
         "--shard",
@@ -573,8 +581,8 @@ def build_parser() -> argparse.ArgumentParser:
         nargs="*",
         metavar="STORE",
         help="export: one destination store; merge: source stores to "
-        "copy in (directories, .sqlite/.db/.pack files, or "
-        "sqlite:/dir: URLs)",
+        "copy in (directories, sqlite:/dir: URLs, http:// endpoints, "
+        "or s3://bucket/prefix buckets)",
     )
     cache.add_argument("--cache-dir", default=None)
     cache.add_argument(
@@ -1336,12 +1344,29 @@ def _cache_transfer(cache: ResultCache, args: argparse.Namespace) -> int:
     """``cache export PACK`` / ``cache merge STORE...``: move entries
     between stores by content key (skip-if-present, conflicts counted)."""
     from .engine import merge_stores, open_backend
+    from .obs import TransferLine
+
+    def transfer(destination, source):
+        # The live line streams per copied page: keys moved (however
+        # they resolved), bytes, and a pace ETA against the source's
+        # total entry count.
+        line = TransferLine(source.stats().entries, label="transfer")
+        report = merge_stores(
+            destination,
+            source,
+            progress=lambda delta: line.advance(
+                keys=delta.copied + delta.skipped + delta.conflicts,
+                nbytes=delta.copied_bytes,
+            ),
+        )
+        line.finish()
+        return report
 
     if args.action == "export":
         if len(args.stores) != 1:
             raise ValueError("cache export takes exactly one destination store")
         destination = open_backend(args.stores[0])
-        report = merge_stores(destination, cache.backend)
+        report = transfer(destination, cache.backend)
         print(
             f"exported {cache.location} -> {destination.location}: "
             f"{report.copied} copied "
@@ -1355,7 +1380,7 @@ def _cache_transfer(cache: ResultCache, args: argparse.Namespace) -> int:
         raise ValueError("cache merge needs at least one source store")
     for source_location in args.stores:
         source = open_backend(source_location)
-        report = merge_stores(cache.backend, source)
+        report = transfer(cache.backend, source)
         print(
             f"merged {source.location} -> {cache.location}: "
             f"{report.copied} copied "

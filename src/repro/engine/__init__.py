@@ -102,6 +102,8 @@ from .store import (
     InjectedFault,
     LocalDirStore,
     MergeReport,
+    ObjectStore,
+    ObjectStoreError,
     RemoteAuthError,
     RemoteStore,
     RemoteStoreError,
@@ -125,6 +127,8 @@ __all__ = [
     "QueueClient",
     "QueueJob",
     "QueueWorker",
+    "ObjectStore",
+    "ObjectStoreError",
     "SqlitePackStore",
     "RemoteStore",
     "RemoteStoreError",

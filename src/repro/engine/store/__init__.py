@@ -22,24 +22,40 @@ results merged back into a single store:
   engine-facing wrapper adding the SimResult codec, hit counters,
   batched ``get_many``/``put_many``, and the ``REPRO_CACHE_MAX_BYTES``
   auto-GC;
+* :mod:`~repro.engine.store.objectstore` — :class:`ObjectStore`, the
+  same content-addressed layout as object keys in an S3-style bucket
+  (``s3://`` via the optional boto3 extra, or any S3-compatible HTTP
+  endpoint with zero extra dependencies) — the serverless rendezvous:
+  shards write straight into a shared bucket, no coordinator host;
+* :mod:`~repro.engine.store.fakebucket` — :class:`FakeBucketServer`,
+  the local stdlib bucket server tests and CI run the object store
+  against;
 * :mod:`~repro.engine.store.faulty` — :class:`FaultyBackend`, a
   deterministic fault-injection wrapper around any backend (chaos
   tests for the engine's write-back and the queue's retry paths).
 
-Backends are selected by location: a directory path keeps the classic
-layout, ``*.sqlite``/``*.db``/``*.pack`` files or ``sqlite:`` URLs open
-a pack, ``http://``/``https://`` URLs open a remote client
-(authenticating via ``REPRO_CACHE_TOKEN``), and
-``REPRO_CACHE_BACKEND=sqlite`` packs even plain-path caches.
+Backends are selected by an explicit location scheme (``dir:``,
+``sqlite:``, ``http://``/``https://``, ``s3://``/``obj:``) through
+:func:`open_backend`'s scheme registry; the historical suffix-sniffing
+forms (``*.sqlite``/``*.db``/``*.pack`` paths,
+``REPRO_CACHE_BACKEND=sqlite`` on a plain path) keep working as
+deprecated aliases that log a one-line warning.  Iteration over any
+backend is **cursored**: ``iter_keys(start_after, limit)`` returns one
+bounded sorted page, and the maintenance paths (``stats``/``gc``/
+``merge_stores``) stream pages via :func:`iter_key_pages`, so no store
+operation ever materializes a full key set — the property that lets a
+campaign cache grow past one process's memory.
 """
 
 from .base import (
     BACKEND_ENV,
     CACHE_DIR_ENV,
     DEFAULT_CACHE_DIR,
+    DEFAULT_KEY_BATCH,
     MAX_BYTES_ENV,
     PACK_SUFFIXES,
     REMOTE_PREFIXES,
+    SCHEME_REGISTRY,
     SCHEMA_VERSION,
     CacheBackend,
     CacheStats,
@@ -49,9 +65,12 @@ from .base import (
     default_cache_dir,
     encode_entry,
     entry_is_unreachable,
+    iter_all_keys,
+    iter_key_pages,
     merge_stores,
     open_backend,
 )
+from .fakebucket import FakeBucketServer
 from .faulty import DEFAULT_FAILABLE_OPS, FaultyBackend, InjectedFault
 from .frontend import ResultCache
 from .http import (
@@ -64,6 +83,17 @@ from .http import (
     StoreServer,
 )
 from .localdir import LocalDirStore
+from .objectstore import (
+    DEFAULT_FANOUT,
+    ENDPOINT_ENV,
+    Boto3Transport,
+    HTTPTransport,
+    MemoryTransport,
+    ObjectStore,
+    ObjectStoreError,
+    ObjectTransport,
+    open_object_store,
+)
 from .sqlite import SqlitePackStore
 
 __all__ = [
@@ -71,20 +101,31 @@ __all__ = [
     "CACHE_DIR_ENV",
     "DEFAULT_CACHE_DIR",
     "DEFAULT_FAILABLE_OPS",
+    "DEFAULT_FANOUT",
+    "DEFAULT_KEY_BATCH",
     "DEFAULT_PORT",
+    "ENDPOINT_ENV",
     "MAX_BYTES_ENV",
     "PACK_SUFFIXES",
     "PROTOCOL_VERSION",
     "REMOTE_PREFIXES",
     "SCHEMA_VERSION",
+    "SCHEME_REGISTRY",
     "TOKEN_ENV",
+    "Boto3Transport",
     "CacheBackend",
     "CacheStats",
+    "FakeBucketServer",
     "FaultyBackend",
     "GCReport",
+    "HTTPTransport",
     "InjectedFault",
     "LocalDirStore",
+    "MemoryTransport",
     "MergeReport",
+    "ObjectStore",
+    "ObjectStoreError",
+    "ObjectTransport",
     "RawEntry",
     "RemoteAuthError",
     "RemoteStore",
@@ -95,6 +136,9 @@ __all__ = [
     "default_cache_dir",
     "encode_entry",
     "entry_is_unreachable",
+    "iter_all_keys",
+    "iter_key_pages",
     "merge_stores",
     "open_backend",
+    "open_object_store",
 ]

@@ -59,11 +59,34 @@ checks:
   collapse the work into one round trip / transaction / fsync window.
   Callers bound request sizes with :func:`chunked`, so a backend may
   assume batches of at most a few hundred items.
+* **``iter_keys`` is a cursor, not a dump.**  One call returns one
+  *sorted page* of keys strictly greater than ``start_after``, at most
+  ``limit`` of them (:data:`DEFAULT_KEY_BATCH` when ``limit`` is
+  ``None`` — a page is always bounded; nothing may materialize the
+  whole key set).  Passing the last key of a page as the next call's
+  ``start_after`` resumes exactly where it left off, so iteration is
+  restartable across processes and survives pagination-sized stores.
+  Keyset semantics under concurrent writers: a key is never skipped or
+  re-served once the cursor has passed it; keys written behind an
+  in-flight cursor may be missed by that sweep (they are found by the
+  next one).  :func:`iter_all_keys` / :func:`iter_key_pages` wrap the
+  paging loop for callers that want a lazy stream.  Maintenance paths
+  (``stats``/``gc``/:func:`merge_stores`/``cache export``) must stream
+  over cursors — per-page content in memory, never the whole store;
+  backends with an index (SQL, object listings) page natively, and the
+  directory store walks shard directories in sorted order.
 * **``stats`` counters stay zero.**  ``hits``/``misses`` belong to the
   :class:`~repro.engine.store.frontend.ResultCache` front end; backends
   report entry/byte totals only.  ``size_bytes`` must be cheap (no
   per-entry content scan) — the auto-GC estimate calls it on the write
   path.
+
+Backends are selected by :func:`open_backend` through an explicit
+scheme registry (``dir:`` | ``sqlite:`` | ``http:``/``https:`` |
+``s3:``/``obj:``); the historical suffix-sniffing forms (a bare
+``*.sqlite``/``*.db``/``*.pack`` path, ``REPRO_CACHE_BACKEND=sqlite``
+rewriting a plain directory) keep working as deprecated aliases that
+log a one-line warning on the ``repro.engine.store`` logger.
 """
 
 from __future__ import annotations
@@ -72,7 +95,12 @@ import json
 import os
 from dataclasses import dataclass
 from pathlib import Path
-from typing import Iterable, Iterator, Protocol, runtime_checkable
+from typing import Callable, Iterable, Iterator, Protocol, runtime_checkable
+
+from ...obs import get_logger
+from ...obs.metrics import STORE_MERGE_KEYS
+
+logger = get_logger("engine.store")
 
 #: Bump when the encoded layout of cache entries changes; mismatched
 #: entries are ignored (recomputed and overwritten), never misread.
@@ -98,6 +126,11 @@ PACK_SUFFIXES = (".sqlite", ".db", ".pack")
 #: URL prefixes that mark a location as a remote ``repro serve``
 #: endpoint (see :mod:`repro.engine.store.http`).
 REMOTE_PREFIXES = ("http://", "https://")
+
+#: Default page size for cursored ``iter_keys`` calls: one page per
+#: backend round trip, small enough that no maintenance pass ever holds
+#: more than a few hundred keys (the acceptance bound is 512).
+DEFAULT_KEY_BATCH = 500
 
 
 def default_cache_dir() -> Path:
@@ -231,8 +264,17 @@ class CacheBackend(Protocol):
         window); returns total bytes written."""
         ...
 
-    def iter_keys(self) -> Iterator[str]:
-        """All entry keys, in sorted order."""
+    def iter_keys(
+        self, start_after: str | None = None, limit: int | None = None
+    ) -> list[str]:
+        """One sorted page of entry keys strictly after ``start_after``.
+
+        At most ``limit`` keys (:data:`DEFAULT_KEY_BATCH` when
+        ``None`` — a page is always bounded).  Resume by passing the
+        last key of a page as the next call's ``start_after``; a short
+        page means the key space is exhausted.  See the cursor bullet
+        of the backend contract for semantics under concurrent writers.
+        """
         ...
 
     def get_entry(self, key: str) -> RawEntry | None:
@@ -282,18 +324,116 @@ class CacheBackend(Protocol):
         ...
 
 
-def open_backend(location: str | os.PathLike | None = None) -> CacheBackend:
-    """Open the store at ``location``, picking the backend from its form.
+def iter_key_pages(
+    backend: CacheBackend,
+    *,
+    batch: int = DEFAULT_KEY_BATCH,
+    start_after: str | None = None,
+) -> Iterator[list[str]]:
+    """Stream ``backend``'s key space as sorted pages of ≤ ``batch`` keys.
 
-    * ``http://`` / ``https://`` URLs open a
+    The cursored-iteration loop every maintenance path shares: each page
+    is one ``iter_keys`` call, resumed from the previous page's last
+    key, so memory is bounded by one page regardless of store size.
+    """
+    cursor = start_after
+    while True:
+        page = list(backend.iter_keys(start_after=cursor, limit=batch))
+        if not page:
+            return
+        yield page
+        if len(page) < batch:
+            return
+        cursor = page[-1]
+
+
+def iter_all_keys(
+    backend: CacheBackend,
+    *,
+    batch: int = DEFAULT_KEY_BATCH,
+    start_after: str | None = None,
+) -> Iterator[str]:
+    """Every key of ``backend`` in sorted order, lazily, one bounded
+    page per backend round trip (the flat form of :func:`iter_key_pages`)."""
+    for page in iter_key_pages(backend, batch=batch, start_after=start_after):
+        yield from page
+
+
+def _open_dir_scheme(text: str, rest: str) -> CacheBackend:
+    from .localdir import LocalDirStore
+
+    return LocalDirStore(rest)
+
+
+def _open_sqlite_scheme(text: str, rest: str) -> CacheBackend:
+    from .sqlite import SqlitePackStore
+
+    return SqlitePackStore(rest)
+
+
+def _open_remote_scheme(text: str, rest: str) -> CacheBackend:
+    from .http import RemoteStore
+
+    return RemoteStore(text)
+
+
+def _open_object_scheme(text: str, rest: str) -> CacheBackend:
+    from .objectstore import open_object_store
+
+    return open_object_store(text)
+
+
+#: Explicit location-scheme registry: ``<scheme>:`` prefix -> opener
+#: taking ``(full_location_text, text_after_colon)``.  This is the one
+#: dispatch table for backend selection; everything below it in
+#: :func:`open_backend` is a deprecated alias.
+SCHEME_REGISTRY: dict[str, Callable[[str, str], CacheBackend]] = {
+    "dir": _open_dir_scheme,
+    "sqlite": _open_sqlite_scheme,
+    "http": _open_remote_scheme,
+    "https": _open_remote_scheme,
+    "s3": _open_object_scheme,
+    "obj": _open_object_scheme,
+}
+
+#: Deprecated location forms already warned about this process (the
+#: warning is one line per form, not one per open).
+_DEPRECATION_WARNED: set[str] = set()
+
+
+def _warn_deprecated(form: str, used: str, instead: str) -> None:
+    if form in _DEPRECATION_WARNED:
+        return
+    _DEPRECATION_WARNED.add(form)
+    logger.warning(
+        "deprecated store location form (%s): use an explicit scheme, "
+        "e.g. %r",
+        used,
+        instead,
+    )
+
+
+def open_backend(location: str | os.PathLike | None = None) -> CacheBackend:
+    """Open the store at ``location``, dispatching on its scheme.
+
+    Explicit schemes (the :data:`SCHEME_REGISTRY`):
+
+    * ``dir:<path>`` — a sharded cache directory (:class:`LocalDirStore`);
+    * ``sqlite:<path>`` — a SQLite pack (:class:`SqlitePackStore`);
+    * ``http://`` / ``https://`` URLs — a
       :class:`~repro.engine.store.http.RemoteStore` client against a
       ``python -m repro serve`` endpoint (bearer token from
       ``REPRO_CACHE_TOKEN``);
-    * ``sqlite:<path>`` / ``dir:<path>`` URL prefixes force a backend;
-    * a path ending in ``.sqlite``/``.db``/``.pack`` opens a
-      :class:`SqlitePackStore`;
-    * anything else is a cache directory — unless ``REPRO_CACHE_BACKEND``
-      is ``sqlite``, which packs the store into ``<dir>/results.sqlite``.
+    * ``s3://bucket/prefix`` / ``obj:http://host:port/bucket/prefix`` —
+      an :class:`~repro.engine.store.objectstore.ObjectStore` (boto3
+      for real S3, the stdlib transport against ``REPRO_OBJECT_ENDPOINT``
+      or an ``obj:``-wrapped URL).
+
+    A plain path is a cache directory — the canonical scheme-less form.
+    Two historical aliases keep working but log a one-line deprecation
+    warning: a bare path ending in ``.sqlite``/``.db``/``.pack`` opens a
+    pack, and ``REPRO_CACHE_BACKEND=sqlite`` packs a plain directory
+    into ``<dir>/results.sqlite``.
 
     ``None`` falls back to ``REPRO_CACHE_DIR`` / ``.repro_cache``.
     """
@@ -303,19 +443,24 @@ def open_backend(location: str | os.PathLike | None = None) -> CacheBackend:
     if location is None:
         location = os.environ.get(CACHE_DIR_ENV) or DEFAULT_CACHE_DIR
     text = os.fspath(location)
-    if text.startswith(REMOTE_PREFIXES):
-        from .http import RemoteStore
-
-        return RemoteStore(text)
-    if text.startswith("sqlite:"):
-        return SqlitePackStore(text[len("sqlite:") :])
-    if text.startswith("dir:"):
-        return LocalDirStore(text[len("dir:") :])
+    scheme, sep, rest = text.partition(":")
+    if sep and scheme.lower() in SCHEME_REGISTRY:
+        return SCHEME_REGISTRY[scheme.lower()](text, rest)
     path = Path(text)
     if path.suffix in PACK_SUFFIXES:
+        _warn_deprecated(
+            f"suffix{path.suffix}",
+            f"pack-file suffix {path.suffix!r}",
+            f"sqlite:{text}",
+        )
         return SqlitePackStore(path)
     backend = (os.environ.get(BACKEND_ENV) or "dir").strip().lower()
     if backend == "sqlite":
+        _warn_deprecated(
+            "env-sqlite",
+            f"{BACKEND_ENV}=sqlite on a plain path",
+            f"sqlite:{path / 'results.sqlite'}",
+        )
         return SqlitePackStore(path / "results.sqlite")
     if backend in ("", "dir", "local", "localdir"):
         return LocalDirStore(path)
@@ -345,7 +490,12 @@ class MergeReport:
         )
 
 
-def merge_stores(dst: CacheBackend, src: CacheBackend) -> MergeReport:
+def merge_stores(
+    dst: CacheBackend,
+    src: CacheBackend,
+    progress: Callable[[MergeReport], None] | None = None,
+    batch: int = DEFAULT_KEY_BATCH,
+) -> MergeReport:
     """Copy every entry of ``src`` into ``dst`` by content key.
 
     Skip-if-present: keys already in ``dst`` are left untouched (counted
@@ -354,15 +504,20 @@ def merge_stores(dst: CacheBackend, src: CacheBackend) -> MergeReport:
     is how sharded campaign outputs rendezvous into one store — after
     merging every shard, the full unsharded rerun is a pure cache read.
 
-    Entries move through the batch APIs in :func:`chunked` groups, so a
-    10k-entry pack merges in a few dozen round trips (one read per side
-    and one write transaction per chunk), not 10k single-row commits.
+    The source's key space streams through :func:`iter_key_pages`
+    (cursored ``iter_keys`` pages of ``batch`` keys), so a store of any
+    size merges in bounded memory: one page of keys and entries at a
+    time, one read per side and one write transaction per page.  Each
+    page feeds the ``repro_store_merge_keys_total`` counter by outcome
+    and, when ``progress`` is given, calls it with that page's
+    incremental :class:`MergeReport` (the CLI's live transfer line).
     """
     copied = skipped = conflicts = copied_bytes = 0
-    for keys in chunked(list(src.iter_keys())):
+    for keys in iter_key_pages(src, batch=batch):
         theirs = src.get_entry_many(keys)
         ours = dst.get_entry_many(keys)
         fresh: list[RawEntry] = []
+        page_skipped = page_conflicts = page_bytes = 0
         for key in keys:
             raw = theirs.get(key)
             if raw is None:  # racing gc/clear on the source
@@ -371,12 +526,29 @@ def merge_stores(dst: CacheBackend, src: CacheBackend) -> MergeReport:
             if existing is None:
                 fresh.append(raw)
             elif existing.encoded() == raw.encoded():
-                skipped += 1
+                page_skipped += 1
             else:
-                conflicts += 1
+                page_conflicts += 1
         if fresh:
-            copied_bytes += dst.put_entry_many(fresh)
-            copied += len(fresh)
+            page_bytes = dst.put_entry_many(fresh)
+            STORE_MERGE_KEYS.labels(outcome="copied").inc(len(fresh))
+        if page_skipped:
+            STORE_MERGE_KEYS.labels(outcome="skipped").inc(page_skipped)
+        if page_conflicts:
+            STORE_MERGE_KEYS.labels(outcome="conflict").inc(page_conflicts)
+        copied += len(fresh)
+        skipped += page_skipped
+        conflicts += page_conflicts
+        copied_bytes += page_bytes
+        if progress is not None:
+            progress(
+                MergeReport(
+                    copied=len(fresh),
+                    skipped=page_skipped,
+                    conflicts=page_conflicts,
+                    copied_bytes=page_bytes,
+                )
+            )
     return MergeReport(
         copied=copied,
         skipped=skipped,

@@ -1,0 +1,276 @@
+"""A local stdlib bucket server for object-store tests and CI.
+
+Just enough of an S3-flavored API for :class:`HTTPTransport`: objects
+are opaque bytes with one piece of metadata (the logical mtime), and
+listings are cursored (``start-after`` / ``max-keys``), which is what
+the cursored ``iter_keys`` contract bottoms out on.  The wire shape is
+JSON rather than S3's XML because both ends of this protocol live in
+this repo — real S3 is reached through :class:`Boto3Transport` instead.
+
+Endpoints (``<key>`` may contain ``/`` and is URL-quoted):
+
+====== ============================ =================================
+method path                         behavior
+====== ============================ =================================
+GET    ``/__health``                ``{ok: true}`` readiness probe
+GET    ``/__log``                   plain-text request log (CI
+                                    uploads this as an artifact)
+GET    ``/<bucket>/<key>``          object bytes; logical mtime in
+                                    the ``x-repro-mtime`` header
+PUT    ``/<bucket>/<key>``          store body; mtime from the
+                                    ``x-repro-mtime`` header
+POST   ``/<bucket>/<key>?touch=T``  metadata-only mtime update
+DELETE ``/<bucket>/<key>``          delete (missing is a 404, which
+                                    clients treat as success)
+GET    ``/<bucket>?list-type=2&prefix=&start-after=&max-keys=N``
+                                    one sorted page:
+                                    ``{objects: [{key, size, mtime}],
+                                    truncated}``
+====== ============================ =================================
+
+Run standalone for CI smoke jobs::
+
+    python -m repro.engine.store.fakebucket --port 9000
+
+or embed in tests via the :class:`FakeBucketServer` context manager
+(ephemeral port, daemon accept loop — the same fixture style as
+:class:`~repro.engine.store.http.StoreServer`).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import threading
+import urllib.parse
+from bisect import bisect_left, bisect_right
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+
+
+class _Bucket:
+    """One bucket: objects plus a lazily rebuilt sorted key index."""
+
+    def __init__(self):
+        self.objects: dict[str, tuple[bytes, float]] = {}
+        self._index: list[str] | None = None
+
+    def index(self) -> list[str]:
+        if self._index is None:
+            self._index = sorted(self.objects)
+        return self._index
+
+    def put(self, key: str, body: bytes, mtime: float) -> None:
+        if key not in self.objects:
+            self._index = None
+        self.objects[key] = (body, mtime)
+
+    def delete(self, key: str) -> bool:
+        if self.objects.pop(key, None) is None:
+            return False
+        self._index = None
+        return True
+
+    def list_page(
+        self, prefix: str, start_after: str | None, limit: int
+    ) -> tuple[list[dict], bool]:
+        index = self.index()
+        lo = bisect_left(index, prefix) if prefix else 0
+        if start_after:
+            lo = max(lo, bisect_right(index, start_after))
+        page: list[dict] = []
+        truncated = False
+        for position, key in enumerate(index[lo:]):
+            if prefix and not key.startswith(prefix):
+                break
+            if len(page) >= limit:
+                truncated = lo + position < len(index)
+                break
+            body, mtime = self.objects[key]
+            page.append({"key": key, "size": len(body), "mtime": mtime})
+        return page, truncated
+
+
+class _BucketHandler(BaseHTTPRequestHandler):
+    def log_message(self, fmt: str, *args) -> None:
+        if not self.server.quiet:  # pragma: no cover - stderr chatter
+            super().log_message(fmt, *args)
+
+    def _reply(self, status: int, blob: bytes, content_type: str) -> None:
+        self.send_response(status)
+        self.send_header("Content-Type", content_type)
+        self.send_header("Content-Length", str(len(blob)))
+        self.end_headers()
+        self.wfile.write(blob)
+
+    def _reply_json(self, status: int, payload: dict) -> None:
+        self._reply(status, json.dumps(payload).encode("utf-8"), "application/json")
+
+    def _split(self) -> tuple[str, str, dict[str, str]]:
+        """``(bucket, object_key, query)`` from the request path."""
+        parsed = urllib.parse.urlsplit(self.path)
+        query = dict(urllib.parse.parse_qsl(parsed.query))
+        bucket, _, key = parsed.path.strip("/").partition("/")
+        return urllib.parse.unquote(bucket), urllib.parse.unquote(key), query
+
+    def _log_request(self) -> None:
+        with self.server.lock:
+            self.server.request_log.append(f"{self.command} {self.path}")
+
+    def do_GET(self) -> None:
+        self._log_request()
+        bucket_name, key, query = self._split()
+        if bucket_name == "__health":
+            return self._reply_json(200, {"ok": True})
+        if bucket_name == "__log":
+            with self.server.lock:
+                text = "\n".join(self.server.request_log) + "\n"
+            return self._reply(200, text.encode("utf-8"), "text/plain")
+        with self.server.lock:
+            bucket = self.server.buckets.get(bucket_name)
+            if not key:
+                # Listing: an unknown bucket lists as empty, so writers
+                # and readers need no out-of-band bucket creation.
+                page, truncated = ([], False)
+                if bucket is not None:
+                    try:
+                        limit = max(1, int(query.get("max-keys", "1000")))
+                    except ValueError:
+                        return self._reply_json(400, {"error": "bad max-keys"})
+                    page, truncated = bucket.list_page(
+                        query.get("prefix", ""),
+                        query.get("start-after"),
+                        min(limit, 1000),
+                    )
+                return self._reply_json(
+                    200, {"objects": page, "truncated": truncated}
+                )
+            found = bucket.objects.get(key) if bucket is not None else None
+        if found is None:
+            return self._reply_json(404, {"error": "no such key"})
+        body, mtime = found
+        self.send_response(200)
+        self.send_header("Content-Type", "application/octet-stream")
+        self.send_header("Content-Length", str(len(body)))
+        self.send_header("x-repro-mtime", repr(mtime))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def do_PUT(self) -> None:
+        self._log_request()
+        bucket_name, key, _ = self._split()
+        if not bucket_name or not key:
+            return self._reply_json(400, {"error": "PUT needs /bucket/key"})
+        length = int(self.headers.get("Content-Length") or 0)
+        body = self.rfile.read(length)
+        try:
+            mtime = float(self.headers.get("x-repro-mtime") or 0.0)
+        except ValueError:
+            return self._reply_json(400, {"error": "bad x-repro-mtime"})
+        with self.server.lock:
+            bucket = self.server.buckets.setdefault(bucket_name, _Bucket())
+            bucket.put(key, body, mtime)
+        self._reply_json(200, {"ok": True})
+
+    def do_POST(self) -> None:
+        self._log_request()
+        bucket_name, key, query = self._split()
+        if "touch" not in query:
+            return self._reply_json(400, {"error": "POST supports only ?touch="})
+        try:
+            mtime = float(query["touch"])
+        except ValueError:
+            return self._reply_json(400, {"error": "bad touch mtime"})
+        with self.server.lock:
+            bucket = self.server.buckets.get(bucket_name)
+            found = bucket.objects.get(key) if bucket is not None else None
+            if found is None:
+                return self._reply_json(404, {"error": "no such key"})
+            bucket.put(key, found[0], mtime)
+        self._reply_json(200, {"ok": True})
+
+    def do_DELETE(self) -> None:
+        self._log_request()
+        bucket_name, key, _ = self._split()
+        with self.server.lock:
+            bucket = self.server.buckets.get(bucket_name)
+            removed = bucket.delete(key) if bucket is not None else False
+        if not removed:
+            return self._reply_json(404, {"error": "no such key"})
+        self._reply_json(200, {"ok": True})
+
+
+class FakeBucketServer:
+    """Serve an in-memory bucket tree over HTTP (fixture style).
+
+    ``port=0`` binds an ephemeral port; :attr:`url` reports the
+    resolved address either way.  :attr:`request_log` is every request
+    line seen, in order — tests assert batching behavior on it and CI
+    uploads it as the bucket-side trace of the smoke run.
+    """
+
+    def __init__(self, host: str = "127.0.0.1", port: int = 0, quiet: bool = True):
+        self._httpd = ThreadingHTTPServer((host, port), _BucketHandler)
+        self._httpd.daemon_threads = True
+        self._httpd.buckets = {}
+        self._httpd.lock = threading.Lock()
+        self._httpd.quiet = quiet
+        self._httpd.request_log = []
+        self._thread: threading.Thread | None = None
+
+    @property
+    def url(self) -> str:
+        host, port = self._httpd.server_address[:2]
+        return f"http://{host}:{port}"
+
+    @property
+    def request_log(self) -> list[str]:
+        with self._httpd.lock:
+            return list(self._httpd.request_log)
+
+    @property
+    def buckets(self) -> dict:
+        return self._httpd.buckets
+
+    def start(self) -> "FakeBucketServer":
+        self._thread = threading.Thread(target=self._httpd.serve_forever, daemon=True)
+        self._thread.start()
+        return self
+
+    def serve_forever(self) -> None:
+        self._httpd.serve_forever()
+
+    def close(self) -> None:
+        if self._thread is not None:
+            self._httpd.shutdown()
+            self._thread.join(timeout=5.0)
+            self._thread = None
+        self._httpd.server_close()
+
+    def __enter__(self) -> "FakeBucketServer":
+        return self.start()
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        description="local fake bucket server for object-store smoke tests"
+    )
+    parser.add_argument("--host", default="127.0.0.1")
+    parser.add_argument("--port", type=int, default=9000)
+    parser.add_argument(
+        "--quiet", action="store_true", help="suppress per-request stderr lines"
+    )
+    args = parser.parse_args(argv)
+    server = FakeBucketServer(host=args.host, port=args.port, quiet=args.quiet)
+    print(f"fake bucket listening on {server.url}", flush=True)
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:  # pragma: no cover - interactive use
+        pass
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

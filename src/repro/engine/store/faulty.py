@@ -25,7 +25,7 @@ maintenance passes through, so a test tears down cleanly.
 from __future__ import annotations
 
 import threading
-from typing import Iterable, Iterator
+from typing import Iterable
 
 from ...obs import get_logger
 from .base import CacheBackend, CacheStats, GCReport, RawEntry
@@ -118,9 +118,11 @@ class FaultyBackend:
         self._maybe_fail("put_payload_many")
         return self.inner.put_payload_many(items)
 
-    def iter_keys(self) -> Iterator[str]:
+    def iter_keys(
+        self, start_after: str | None = None, limit: int | None = None
+    ) -> list[str]:
         self._maybe_fail("iter_keys")
-        return self.inner.iter_keys()
+        return list(self.inner.iter_keys(start_after=start_after, limit=limit))
 
     def get_entry(self, key: str) -> RawEntry | None:
         self._maybe_fail("get_entry")

@@ -35,7 +35,13 @@ GET    ``/health``          -> ``{ok, protocol, schema, location}``
 GET    ``/metrics``         -> Prometheus text exposition (0.0.4) of
                             the server process's metrics registry;
                             unauthenticated read-only, like /health
-GET    ``/keys``            -> ``{keys: [...]}``
+GET    ``/keys``            -> ``{keys: [...]}`` (legacy full dump;
+                            kept so pre-protocol-2 clients keep
+                            working — new code pages via keys/list)
+POST   ``/keys/list``       ``{start_after?, limit?}`` ->
+                            ``{keys, next}`` — one sorted page after
+                            the cursor; ``next`` is the resume cursor,
+                            ``null`` when the key space is exhausted
 GET    ``/stats``           -> ``CacheStats`` fields (counters zero)
 GET    ``/size``            -> ``{size_bytes}``
 POST   ``/payloads/get``    ``{keys, kind}`` -> ``{found: {key: payload}}``
@@ -80,7 +86,7 @@ import urllib.error
 import urllib.request
 from dataclasses import asdict
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
-from typing import TYPE_CHECKING, Callable, Iterable, Iterator, Mapping
+from typing import TYPE_CHECKING, Callable, Iterable, Mapping
 
 if TYPE_CHECKING:
     from ..queue import JobQueue
@@ -94,12 +100,14 @@ from ...obs.metrics import (
     STORE_RETRIES,
 )
 from .base import (
+    DEFAULT_KEY_BATCH,
     SCHEMA_VERSION,
     CacheBackend,
     CacheStats,
     GCReport,
     RawEntry,
     chunked,
+    iter_all_keys,
 )
 
 _client_log = get_logger("store.remote")
@@ -110,7 +118,13 @@ _serve_log = get_logger("serve")
 TOKEN_ENV = "REPRO_CACHE_TOKEN"
 
 #: Bump when the endpoint set or body shapes change incompatibly.
-PROTOCOL_VERSION = 1
+#: 2: cursored ``keys/list`` pagination (``/keys`` kept as a legacy
+#: full dump so protocol-1 clients still work).
+PROTOCOL_VERSION = 2
+
+#: Server-side clamp on one ``keys/list`` page: a client asking for the
+#: world still gets bounded responses and has to walk the cursor.
+MAX_KEYS_PAGE = 1000
 
 #: Default ``repro serve`` bind (the README's rendezvous examples).
 DEFAULT_PORT = 8123
@@ -121,7 +135,18 @@ _RETRY_STATUSES = frozenset({408, 425, 429, 500, 502, 503, 504})
 
 
 class RemoteStoreError(OSError):
-    """The remote store could not be reached or refused the request."""
+    """The remote store could not be reached or refused the request.
+
+    ``status`` carries the HTTP status code when the server answered
+    with a permanent error, ``None`` for transport failures and
+    exhausted retries — callers use it to tell "this server does not
+    know the endpoint" (404, e.g. an older protocol) from "this server
+    is gone".
+    """
+
+    def __init__(self, message: str, status: int | None = None):
+        super().__init__(message)
+        self.status = status
 
 
 class RemoteAuthError(RemoteStoreError):
@@ -196,6 +221,9 @@ class RemoteStore:
         self.max_retry_seconds = max_retry_seconds
         self._sleep = sleep
         self._jitter = jitter
+        # Set once a keys/list call comes back 404: the server predates
+        # protocol 2, so iteration falls back to the legacy full dump.
+        self._legacy_keys = False
 
     @property
     def location(self) -> str:
@@ -277,13 +305,15 @@ class RemoteStore:
                         raise RemoteAuthError(
                             f"{self.url} rejected the request (HTTP {exc.code}): "
                             f"set {TOKEN_ENV} to the token the server was "
-                            "started with"
+                            "started with",
+                            status=exc.code,
                         ) from None
                     if exc.code not in _RETRY_STATUSES:
                         detail = _error_detail(exc)
                         raise RemoteStoreError(
                             f"{self.url}/{endpoint} failed: HTTP {exc.code} "
-                            f"{exc.reason}{detail}"
+                            f"{exc.reason}{detail}",
+                            status=exc.code,
                         ) from None
                     if exc.code in (429, 503):
                         retry_after = _parse_retry_after(
@@ -366,8 +396,30 @@ class RemoteStore:
 
     # -- maintenance --------------------------------------------------------
 
-    def iter_keys(self) -> Iterator[str]:
-        yield from self._call("keys")["keys"]
+    def iter_keys(
+        self, start_after: str | None = None, limit: int | None = None
+    ) -> list[str]:
+        page = DEFAULT_KEY_BATCH if limit is None else max(0, int(limit))
+        if page == 0:
+            return []
+        if not self._legacy_keys:
+            try:
+                resp = self._call(
+                    "keys/list", {"start_after": start_after, "limit": page}
+                )
+                return list(resp["keys"])
+            except RemoteStoreError as exc:
+                if exc.status != 404:
+                    raise
+                # Pre-protocol-2 server: remember, fall back to the
+                # legacy full dump and page it client-side.  Costs one
+                # full transfer per page against an old server — the
+                # price of keeping old coordinators usable at all.
+                self._legacy_keys = True
+        keys = sorted(self._call("keys")["keys"])
+        if start_after is not None:
+            keys = [key for key in keys if key > start_after]
+        return keys[:page]
 
     def size_bytes(self) -> int:
         return self._call("size")["size_bytes"]
@@ -440,6 +492,13 @@ def _route_gc(backend: CacheBackend, payload: dict) -> dict:
     return asdict(report)
 
 
+def _route_keys_list(backend: CacheBackend, payload: dict) -> dict:
+    limit = payload.get("limit") or DEFAULT_KEY_BATCH
+    limit = max(1, min(int(limit), MAX_KEYS_PAGE))
+    keys = list(backend.iter_keys(start_after=payload.get("start_after"), limit=limit))
+    return {"keys": keys, "next": keys[-1] if len(keys) == limit else None}
+
+
 def _route_stats(backend: CacheBackend, payload: dict) -> dict:
     stats = backend.stats()
     return {
@@ -451,12 +510,16 @@ def _route_stats(backend: CacheBackend, payload: dict) -> dict:
 
 
 _GET_ROUTES: dict[str, Callable[[CacheBackend, dict], dict]] = {
-    "/keys": lambda backend, payload: {"keys": list(backend.iter_keys())},
+    # Legacy full dump (protocol 1): still served so old clients keep
+    # working, but it walks the backend's cursor server-side rather
+    # than asking any backend for an unbounded page.
+    "/keys": lambda backend, payload: {"keys": list(iter_all_keys(backend))},
     "/stats": _route_stats,
     "/size": lambda backend, payload: {"size_bytes": backend.size_bytes()},
 }
 
 _POST_ROUTES: dict[str, Callable[[CacheBackend, dict], dict]] = {
+    "/keys/list": _route_keys_list,
     "/payloads/get": _route_payloads_get,
     "/payloads/put": _route_payloads_put,
     "/entries/get": _route_entries_get,

@@ -29,6 +29,7 @@ from typing import Iterable, Iterator
 
 from ...obs import store_op
 from .base import (
+    DEFAULT_KEY_BATCH,
     SCHEMA_VERSION,
     CacheStats,
     GCReport,
@@ -163,14 +164,41 @@ class LocalDirStore:
 
     # -- maintenance --------------------------------------------------------
 
-    def _entry_files(self) -> list[Path]:
-        if not self.root.is_dir():
-            return []
-        return sorted(self.root.glob("*/*.json"))
+    def _iter_entry_paths(self) -> Iterator[Path]:
+        """Entry files in key order, one shard directory in memory at a time.
 
-    def iter_keys(self) -> Iterator[str]:
-        for path in self._entry_files():
-            yield path.stem
+        Listing per shard (at most 256 of them) keeps the resident set
+        bounded by the largest shard, not the whole store, and makes the
+        walk safe against files unlinked between shards mid-iteration.
+        """
+        if not self.root.is_dir():
+            return
+        for shard in sorted(p for p in self.root.iterdir() if p.is_dir()):
+            yield from sorted(shard.glob("*.json"))
+
+    def iter_keys(
+        self, start_after: str | None = None, limit: int | None = None
+    ) -> list[str]:
+        page = DEFAULT_KEY_BATCH if limit is None else max(0, int(limit))
+        if page == 0:
+            return []
+        keys: list[str] = []
+        if not self.root.is_dir():
+            return keys
+        shard_floor = start_after[:2] if start_after else ""
+        for shard in sorted(p for p in self.root.iterdir() if p.is_dir()):
+            # Keys are sharded by their first two characters, so every
+            # key in a shard lexically below the cursor's shard is
+            # already behind the cursor.
+            if shard.name < shard_floor:
+                continue
+            for stem in sorted(path.stem for path in shard.glob("*.json")):
+                if start_after is not None and stem <= start_after:
+                    continue
+                keys.append(stem)
+                if len(keys) >= page:
+                    return keys
+        return keys
 
     def _is_unreachable(self, path: Path) -> bool:
         try:
@@ -181,7 +209,7 @@ class LocalDirStore:
 
     def size_bytes(self) -> int:
         total = 0
-        for path in self._entry_files():
+        for path in self._iter_entry_paths():
             try:
                 total += path.stat().st_size
             except OSError:
@@ -189,11 +217,12 @@ class LocalDirStore:
         return total
 
     def stats(self) -> CacheStats:
-        files = self._entry_files()
+        entries = 0
         size = 0
         reclaimable_entries = 0
         reclaimable_bytes = 0
-        for path in files:
+        for path in self._iter_entry_paths():
+            entries += 1
             try:
                 nbytes = path.stat().st_size
             except OSError:
@@ -203,7 +232,7 @@ class LocalDirStore:
                 reclaimable_entries += 1
                 reclaimable_bytes += nbytes
         return CacheStats(
-            entries=len(files),
+            entries=entries,
             size_bytes=size,
             hits=0,
             misses=0,
@@ -227,21 +256,32 @@ class LocalDirStore:
         now: float | None = None,
     ) -> GCReport:
         now = time.time() if now is None else now
+        # Pass 1 streams the shard walk, unlinking unreachable/expired
+        # entries as it goes.  Only survivor *metadata* tuples are kept
+        # (mtime, size, path — no entry bodies), the one per-entry cost
+        # this backend still pays; the LRU pass needs a global mtime
+        # sort, and a directory tree has no index to hand it out in
+        # pages like the SQLite pack does.
         survivors: list[tuple[float, int, Path]] = []  # (mtime, size, path)
-        removed: list[tuple[int, Path]] = []
-        files = self._entry_files()
-        for path in files:
+        removed_entries = 0
+        removed_bytes = 0
+        scanned = 0
+        for path in self._iter_entry_paths():
             try:
                 stat = path.stat()
             except OSError:
                 continue
-            if self._is_unreachable(path):
-                removed.append((stat.st_size, path))
-            elif (
-                max_age_days is not None
-                and now - stat.st_mtime > max_age_days * 86400.0
-            ):
-                removed.append((stat.st_size, path))
+            scanned += 1
+            stale = max_age_days is not None and now - stat.st_mtime > (
+                max_age_days * 86400.0
+            )
+            if stale or self._is_unreachable(path):
+                try:
+                    path.unlink()
+                except OSError:
+                    pass
+                removed_entries += 1
+                removed_bytes += stat.st_size
             else:
                 survivors.append((stat.st_mtime, stat.st_size, path))
         if max_bytes is not None:
@@ -249,18 +289,18 @@ class LocalDirStore:
             total = sum(size for _, size, _ in survivors)
             while survivors and total > max_bytes:
                 _, size, path = survivors.pop(0)
-                removed.append((size, path))
+                try:
+                    path.unlink()
+                except OSError:
+                    pass
+                removed_entries += 1
+                removed_bytes += size
                 total -= size
-        for _, path in removed:
-            try:
-                path.unlink()
-            except OSError:
-                pass
         self._prune_empty_shards()
         return GCReport(
-            scanned_entries=len(files),
-            removed_entries=len(removed),
-            removed_bytes=sum(size for size, _ in removed),
+            scanned_entries=scanned,
+            removed_entries=removed_entries,
+            removed_bytes=removed_bytes,
             kept_entries=len(survivors),
             kept_bytes=sum(size for _, size, _ in survivors),
         )
@@ -275,11 +315,12 @@ class LocalDirStore:
 
     def clear(self) -> int:
         with store_op(_BACKEND, "clear"):
-            files = self._entry_files()
-            for path in files:
+            count = 0
+            for path in self._iter_entry_paths():
                 path.unlink()
+                count += 1
             self._prune_empty_shards()
-            return len(files)
+            return count
 
     def close(self) -> None:
         pass

@@ -1,0 +1,750 @@
+"""Object-store backend: content-addressed entries as bucket objects.
+
+The serverless complement to ``repro serve``: instead of one rendezvous
+host running a coordinator, every shard writes its results straight
+into a shared bucket (S3, GCS via the S3 API, MinIO, or this repo's
+stdlib fake bucket in tests/CI) and the unsharded rerun assembles the
+campaign as a pure cache read.  The content-addressed layout maps onto
+object keys directly::
+
+    <prefix>/<key[:2]>/<key>        # the canonical entry JSON bytes
+
+The two-character shard level mirrors :class:`LocalDirStore`'s
+directory layout and keeps listings of one key range cheap on real
+object stores.  Keys carry **no suffix** deliberately: with ``/``
+sorting below every hex digit, the lexicographic order of object keys
+equals the order of entry keys, so one bucket listing page *is* one
+:meth:`ObjectStore.iter_keys` page — cursored iteration costs exactly
+one ranged LIST per page.
+
+The store talks to the bucket through an injectable **transport** (the
+:class:`ObjectTransport` protocol): batched get/put/touch/delete plus a
+ranged listing.  Three implementations:
+
+* :class:`MemoryTransport` — an in-process dict bucket for unit tests.
+* :class:`HTTPTransport` — plain ``urllib`` against the JSON bucket
+  protocol served by :mod:`repro.engine.store.fakebucket`; batched
+  calls fan out over a small thread pool
+  (:data:`DEFAULT_FANOUT` concurrent requests).  This is what CI uses:
+  no cloud credentials, no extra dependencies.
+* :class:`Boto3Transport` — the real S3 API for ``s3://`` locations,
+  used only when :mod:`boto3` is importable (it is an optional extra —
+  the import is guarded and failure raises one clear
+  :class:`ObjectStoreError`).
+
+Because the bucket has no filesystem mtime, the entry's LRU timestamp
+travels as explicit object metadata (the ``x-repro-mtime`` header on
+the wire); reads touch it with a metadata-only update, so ``gc``'s
+mtime eviction order survives transport through a bucket exactly like
+it survives ``cache export`` / ``cache merge``.
+
+Location forms understood by :func:`open_object_store` (and therefore
+by ``open_backend`` / every ``--cache-dir``):
+
+* ``s3://bucket/prefix`` — real bucket via boto3, unless the
+  ``REPRO_OBJECT_ENDPOINT`` environment variable points at an
+  S3-compatible HTTP endpoint (the fake bucket, MinIO), in which case
+  the stdlib HTTP transport is used and no boto3 is needed.
+* ``obj:http://host:9000/bucket/prefix`` — explicit HTTP endpoint,
+  bucket, and prefix in one URL; always the stdlib transport.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import threading
+import time
+import urllib.error
+import urllib.parse
+import urllib.request
+from bisect import bisect_left, bisect_right
+from concurrent.futures import ThreadPoolExecutor
+from typing import Iterable, Protocol, runtime_checkable
+
+from ...obs import store_op
+from .base import (
+    DEFAULT_KEY_BATCH,
+    SCHEMA_VERSION,
+    CacheStats,
+    GCReport,
+    RawEntry,
+    chunked,
+    encode_entry,
+    entry_is_unreachable,
+)
+
+#: Metrics label for this backend (``repro_store_*{backend="object"}``).
+_BACKEND = "object"
+
+#: S3-compatible HTTP endpoint override for ``s3://`` locations; when
+#: set, ``s3://bucket/prefix`` uses the stdlib HTTP transport against
+#: it instead of boto3 (CI points this at the fake bucket server).
+ENDPOINT_ENV = "REPRO_OBJECT_ENDPOINT"
+
+#: Concurrent requests per batched transport call.  Object stores are
+#: high-latency/high-parallelism: a 500-key page fetched 8-wide costs
+#: ~63 round trips of wall clock instead of 500.
+DEFAULT_FANOUT = 8
+
+
+class ObjectStoreError(OSError):
+    """The bucket could not be reached or refused the request."""
+
+
+@runtime_checkable
+class ObjectTransport(Protocol):
+    """Batched bucket primitives :class:`ObjectStore` is built on.
+
+    Object keys are opaque strings (they may contain ``/``).  All
+    batched methods are all-or-nothing per *object*, not per batch:
+    a missing key in ``get_many`` is simply absent from the result.
+    """
+
+    location: str
+
+    def get_many(self, keys: list[str]) -> dict[str, tuple[bytes, float]]:
+        """``{key: (body, mtime)}`` for every key that exists."""
+        ...
+
+    def put_many(self, items: list[tuple[str, bytes, float]]) -> None:
+        """Write ``(key, body, mtime)`` objects (last writer wins)."""
+        ...
+
+    def touch_many(self, items: list[tuple[str, float]]) -> None:
+        """Update mtime metadata only; missing keys are ignored."""
+        ...
+
+    def delete_many(self, keys: list[str]) -> None:
+        """Delete objects; missing keys are ignored."""
+        ...
+
+    def list_page(
+        self, prefix: str, start_after: str | None, limit: int
+    ) -> list[tuple[str, int, float]]:
+        """One sorted page of ``(key, size, mtime)`` under ``prefix``.
+
+        Strictly after ``start_after`` when given, at most ``limit``
+        items — the bucket-level mirror of the cursored ``iter_keys``
+        contract.
+        """
+        ...
+
+    def close(self) -> None: ...
+
+
+class MemoryTransport:
+    """In-process fake bucket: a dict plus a lazily rebuilt sorted index.
+
+    Thread-safe (the store server and concurrent-writer tests hit one
+    instance from several threads).  ``list_page`` bisects a cached
+    sorted key index that mutations invalidate, so paging a 50k-object
+    bucket does not re-sort per page.
+    """
+
+    def __init__(self):
+        self.location = "memory:"
+        self._objects: dict[str, tuple[bytes, float]] = {}
+        self._index: list[str] | None = None
+        self._lock = threading.Lock()
+
+    def __len__(self) -> int:
+        return len(self._objects)
+
+    def _sorted_index(self) -> list[str]:
+        if self._index is None:
+            self._index = sorted(self._objects)
+        return self._index
+
+    def get_many(self, keys: list[str]) -> dict[str, tuple[bytes, float]]:
+        with self._lock:
+            return {key: self._objects[key] for key in keys if key in self._objects}
+
+    def put_many(self, items: list[tuple[str, bytes, float]]) -> None:
+        with self._lock:
+            for key, body, mtime in items:
+                if key not in self._objects:
+                    self._index = None
+                self._objects[key] = (body, mtime)
+
+    def touch_many(self, items: list[tuple[str, float]]) -> None:
+        with self._lock:
+            for key, mtime in items:
+                found = self._objects.get(key)
+                if found is not None:
+                    self._objects[key] = (found[0], mtime)
+
+    def delete_many(self, keys: list[str]) -> None:
+        with self._lock:
+            for key in keys:
+                if self._objects.pop(key, None) is not None:
+                    self._index = None
+
+    def list_page(
+        self, prefix: str, start_after: str | None, limit: int
+    ) -> list[tuple[str, int, float]]:
+        with self._lock:
+            index = self._sorted_index()
+            lo = bisect_left(index, prefix)
+            if start_after is not None:
+                lo = max(lo, bisect_right(index, start_after))
+            page: list[tuple[str, int, float]] = []
+            for key in index[lo:]:
+                if not key.startswith(prefix):
+                    break
+                body, mtime = self._objects[key]
+                page.append((key, len(body), mtime))
+                if len(page) >= limit:
+                    break
+            return page
+
+    def close(self) -> None:
+        pass
+
+
+class HTTPTransport:
+    """Stdlib HTTP client for the fake-bucket JSON protocol.
+
+    Wire shape (see :mod:`repro.engine.store.fakebucket`):
+
+    * ``GET /<bucket>/<key>`` — body bytes, mtime in ``x-repro-mtime``
+    * ``PUT /<bucket>/<key>`` — body bytes, mtime in ``x-repro-mtime``
+    * ``POST /<bucket>/<key>?touch=<mtime>`` — metadata-only touch
+    * ``DELETE /<bucket>/<key>``
+    * ``GET /<bucket>?list-type=2&prefix=&start-after=&max-keys=N`` —
+      ``{"objects": [{"key", "size", "mtime"}], "truncated": bool}``
+
+    Batched calls fan out over a shared :data:`DEFAULT_FANOUT`-wide
+    thread pool; any transport-level failure surfaces as one
+    :class:`ObjectStoreError` naming the endpoint.
+    """
+
+    def __init__(self, endpoint: str, bucket: str, timeout: float = 30.0):
+        self.endpoint = endpoint.rstrip("/")
+        self.bucket = bucket
+        self.timeout = timeout
+        self.location = f"{self.endpoint}/{bucket}"
+        self._pool: ThreadPoolExecutor | None = None
+
+    def _executor(self) -> ThreadPoolExecutor:
+        if self._pool is None:
+            self._pool = ThreadPoolExecutor(max_workers=DEFAULT_FANOUT)
+        return self._pool
+
+    def _object_url(self, key: str) -> str:
+        return f"{self.endpoint}/{self.bucket}/{urllib.parse.quote(key)}"
+
+    def _request(
+        self,
+        method: str,
+        url: str,
+        data: bytes | None = None,
+        headers: dict | None = None,
+    ):
+        request = urllib.request.Request(
+            url, data=data, headers=headers or {}, method=method
+        )
+        try:
+            return urllib.request.urlopen(request, timeout=self.timeout)
+        except urllib.error.HTTPError as exc:
+            if exc.code == 404:
+                return None
+            raise ObjectStoreError(
+                f"{method} {url} failed: HTTP {exc.code} {exc.reason}"
+            ) from None
+        except OSError as exc:  # URLError, timeouts, refused connections
+            raise ObjectStoreError(
+                f"object endpoint {self.endpoint} is unreachable ({exc}); "
+                f"is the bucket server running?"
+            ) from exc
+
+    def _get_one(self, key: str) -> tuple[str, tuple[bytes, float]] | None:
+        resp = self._request("GET", self._object_url(key))
+        if resp is None:
+            return None
+        with resp:
+            body = resp.read()
+            mtime = float(resp.headers.get("x-repro-mtime") or 0.0)
+        return key, (body, mtime)
+
+    def get_many(self, keys: list[str]) -> dict[str, tuple[bytes, float]]:
+        found = self._executor().map(self._get_one, keys)
+        return dict(hit for hit in found if hit is not None)
+
+    def _put_one(self, item: tuple[str, bytes, float]) -> None:
+        key, body, mtime = item
+        resp = self._request(
+            "PUT",
+            self._object_url(key),
+            data=body,
+            headers={"x-repro-mtime": repr(mtime)},
+        )
+        if resp is not None:
+            resp.close()
+
+    def put_many(self, items: list[tuple[str, bytes, float]]) -> None:
+        # list() drains the map so errors raised in workers propagate.
+        list(self._executor().map(self._put_one, items))
+
+    def _touch_one(self, item: tuple[str, float]) -> None:
+        key, mtime = item
+        resp = self._request("POST", f"{self._object_url(key)}?touch={mtime!r}")
+        if resp is not None:
+            resp.close()
+
+    def touch_many(self, items: list[tuple[str, float]]) -> None:
+        list(self._executor().map(self._touch_one, items))
+
+    def _delete_one(self, key: str) -> None:
+        resp = self._request("DELETE", self._object_url(key))
+        if resp is not None:
+            resp.close()
+
+    def delete_many(self, keys: list[str]) -> None:
+        list(self._executor().map(self._delete_one, keys))
+
+    def list_page(
+        self, prefix: str, start_after: str | None, limit: int
+    ) -> list[tuple[str, int, float]]:
+        query = {
+            "list-type": "2",
+            "prefix": prefix,
+            "max-keys": str(limit),
+        }
+        if start_after is not None:
+            query["start-after"] = start_after
+        url = f"{self.endpoint}/{self.bucket}?{urllib.parse.urlencode(query)}"
+        resp = self._request("GET", url)
+        if resp is None:
+            raise ObjectStoreError(f"bucket {self.bucket!r} not found at {url}")
+        with resp:
+            listing = json.loads(resp.read().decode("utf-8"))
+        return [
+            (obj["key"], obj["size"], obj["mtime"]) for obj in listing["objects"]
+        ]
+
+    def close(self) -> None:
+        if self._pool is not None:
+            self._pool.shutdown(wait=True)
+            self._pool = None
+
+
+class Boto3Transport:
+    """Real S3 via :mod:`boto3` — the optional-extra path.
+
+    The import is guarded: without boto3 installed, constructing this
+    transport raises one clear :class:`ObjectStoreError` telling the
+    user to either install the extra or point ``REPRO_OBJECT_ENDPOINT``
+    at an S3-compatible HTTP endpoint (which needs no extra at all).
+
+    The logical mtime rides in object metadata
+    (``x-amz-meta-repro-mtime``); listings fall back to the object's
+    ``LastModified`` because S3 LIST does not return custom metadata —
+    good enough for LRU ordering, exact values come back on GET.
+    """
+
+    def __init__(self, bucket: str, endpoint: str | None = None):
+        try:
+            import boto3
+        except ImportError:
+            raise ObjectStoreError(
+                "s3:// store locations need the boto3 extra (pip install "
+                f"boto3) or an S3-compatible HTTP endpoint in {ENDPOINT_ENV} "
+                "(e.g. the fake bucket server: python -m "
+                "repro.engine.store.fakebucket)"
+            ) from None
+        self.bucket = bucket
+        self._client = boto3.client("s3", endpoint_url=endpoint)
+        self.location = f"s3://{bucket}"
+
+    def get_many(self, keys: list[str]) -> dict[str, tuple[bytes, float]]:
+        found: dict[str, tuple[bytes, float]] = {}
+        for key in keys:
+            try:
+                resp = self._client.get_object(Bucket=self.bucket, Key=key)
+            except self._client.exceptions.NoSuchKey:
+                continue
+            body = resp["Body"].read()
+            meta = resp.get("Metadata", {})
+            try:
+                mtime = float(meta.get("repro-mtime", ""))
+            except ValueError:
+                mtime = resp["LastModified"].timestamp()
+            found[key] = (body, mtime)
+        return found
+
+    def put_many(self, items: list[tuple[str, bytes, float]]) -> None:
+        for key, body, mtime in items:
+            self._client.put_object(
+                Bucket=self.bucket,
+                Key=key,
+                Body=body,
+                Metadata={"repro-mtime": repr(mtime)},
+            )
+
+    def touch_many(self, items: list[tuple[str, float]]) -> None:
+        # S3 has no metadata-only update; rewrite via self-copy.
+        for key, mtime in items:
+            try:
+                self._client.copy_object(
+                    Bucket=self.bucket,
+                    Key=key,
+                    CopySource={"Bucket": self.bucket, "Key": key},
+                    Metadata={"repro-mtime": repr(mtime)},
+                    MetadataDirective="REPLACE",
+                )
+            except self._client.exceptions.NoSuchKey:
+                continue
+
+    def delete_many(self, keys: list[str]) -> None:
+        for chunk in chunked(keys):
+            self._client.delete_objects(
+                Bucket=self.bucket,
+                Delete={"Objects": [{"Key": key} for key in chunk]},
+            )
+
+    def list_page(
+        self, prefix: str, start_after: str | None, limit: int
+    ) -> list[tuple[str, int, float]]:
+        kwargs = {"Bucket": self.bucket, "Prefix": prefix, "MaxKeys": limit}
+        if start_after is not None:
+            kwargs["StartAfter"] = start_after
+        resp = self._client.list_objects_v2(**kwargs)
+        return [
+            (obj["Key"], obj["Size"], obj["LastModified"].timestamp())
+            for obj in resp.get("Contents", [])
+        ]
+
+    def close(self) -> None:
+        self._client.close()
+
+
+class ObjectStore:
+    """:class:`CacheBackend` over any :class:`ObjectTransport`."""
+
+    def __init__(self, transport: ObjectTransport, prefix: str = "repro"):
+        self.transport = transport
+        self.prefix = prefix.strip("/")
+
+    @property
+    def location(self) -> str:
+        return f"{self.transport.location}/{self.prefix}"
+
+    def __repr__(self) -> str:
+        return f"ObjectStore({self.location!r})"
+
+    def _object_key(self, key: str) -> str:
+        return f"{self.prefix}/{key[:2]}/{key}"
+
+    def _entry_key(self, object_key: str) -> str:
+        return object_key.rpartition("/")[2]
+
+    # -- payloads -----------------------------------------------------------
+
+    def get_payload(self, key: str, kind: str) -> dict | None:
+        return self.get_payload_many([key], kind).get(key)
+
+    def get_payload_many(self, keys: Iterable[str], kind: str) -> dict[str, dict]:
+        wanted = list(dict.fromkeys(keys))
+        if not wanted:
+            return {}
+        with store_op(_BACKEND, "get") as op:
+            found: dict[str, dict] = {}
+            now = time.time()
+            for chunk in chunked(wanted):
+                objects = self.transport.get_many(
+                    [self._object_key(key) for key in chunk]
+                )
+                hits: list[tuple[str, float]] = []
+                for object_key, (body, _) in objects.items():
+                    key = self._entry_key(object_key)
+                    try:
+                        entry = json.loads(body.decode("utf-8"))
+                    except (UnicodeDecodeError, ValueError):
+                        continue
+                    result = entry.get("result")
+                    if (
+                        entry.get("schema") != SCHEMA_VERSION
+                        or entry.get("kind") != kind
+                        or result is None
+                    ):
+                        continue
+                    found[key] = result
+                    op.add_bytes(len(body))
+                    hits.append((object_key, now))
+                if hits:
+                    # Touch on read: mtime order is the LRU order gc()
+                    # evicts in, exactly like the local backends.
+                    self.transport.touch_many(hits)
+            return found
+
+    def put_payload(
+        self, key: str, kind: str, result: dict, spec: dict | None = None
+    ) -> int:
+        return self.put_payload_many([(key, kind, result, spec)])
+
+    def put_payload_many(
+        self, items: Iterable[tuple[str, str, dict, dict | None]]
+    ) -> int:
+        with store_op(_BACKEND, "put") as op:
+            now = time.time()
+            written = 0
+            for chunk in chunked(list(items)):
+                batch: list[tuple[str, bytes, float]] = []
+                for key, kind, result, spec in chunk:
+                    entry = {"schema": SCHEMA_VERSION, "kind": kind, "result": result}
+                    if spec is not None:
+                        entry["spec"] = spec
+                    body = encode_entry(entry).encode("utf-8")
+                    written += len(body)
+                    batch.append((self._object_key(key), body, now))
+                if batch:
+                    self.transport.put_many(batch)
+            op.add_bytes(written)
+            return written
+
+    # -- raw entries --------------------------------------------------------
+
+    def get_entry(self, key: str) -> RawEntry | None:
+        return self.get_entry_many([key]).get(key)
+
+    def get_entry_many(self, keys: Iterable[str]) -> dict[str, RawEntry]:
+        wanted = list(dict.fromkeys(keys))
+        found: dict[str, RawEntry] = {}
+        if not wanted:
+            return found
+        with store_op(_BACKEND, "get_entry") as op:
+            for chunk in chunked(wanted):
+                objects = self.transport.get_many(
+                    [self._object_key(key) for key in chunk]
+                )
+                for object_key, (body, mtime) in objects.items():
+                    key = self._entry_key(object_key)
+                    try:
+                        entry = json.loads(body.decode("utf-8"))
+                    except (UnicodeDecodeError, ValueError):
+                        continue
+                    if isinstance(entry, dict):
+                        found[key] = RawEntry(key=key, entry=entry, mtime=mtime)
+                        op.add_bytes(len(body))
+            return found
+
+    def put_entry(self, key: str, entry: dict, mtime: float | None = None) -> int:
+        raw = RawEntry(
+            key=key, entry=entry, mtime=time.time() if mtime is None else mtime
+        )
+        return self.put_entry_many([raw])
+
+    def put_entry_many(self, entries: Iterable[RawEntry]) -> int:
+        with store_op(_BACKEND, "put_entry") as op:
+            written = 0
+            for chunk in chunked(list(entries)):
+                batch: list[tuple[str, bytes, float]] = []
+                for raw in chunk:
+                    body = encode_entry(raw.entry).encode("utf-8")
+                    written += len(body)
+                    batch.append((self._object_key(raw.key), body, raw.mtime))
+                if batch:
+                    self.transport.put_many(batch)
+            op.add_bytes(written)
+            return written
+
+    # -- maintenance --------------------------------------------------------
+
+    def _list_page(
+        self, start_after: str | None, limit: int
+    ) -> list[tuple[str, int, float]]:
+        cursor = None if start_after is None else self._object_key(start_after)
+        return self.transport.list_page(f"{self.prefix}/", cursor, limit)
+
+    def iter_keys(
+        self, start_after: str | None = None, limit: int | None = None
+    ) -> list[str]:
+        page = DEFAULT_KEY_BATCH if limit is None else max(0, int(limit))
+        if page == 0:
+            return []
+        # Object-key order equals entry-key order (suffix-free layout,
+        # see the module docstring), so one bucket LIST page is one
+        # iter_keys page — no client-side re-sorting or over-fetch.
+        listed = self._list_page(start_after, page)
+        return [self._entry_key(object_key) for object_key, _, _ in listed]
+
+    def size_bytes(self) -> int:
+        total = 0
+        cursor: str | None = None
+        while True:
+            listed = self.transport.list_page(
+                f"{self.prefix}/", cursor, DEFAULT_KEY_BATCH
+            )
+            if not listed:
+                break
+            total += sum(size for _, size, _ in listed)
+            cursor = listed[-1][0]
+            if len(listed) < DEFAULT_KEY_BATCH:
+                break
+        return total
+
+    def stats(self) -> CacheStats:
+        entries = 0
+        size = 0
+        reclaimable_entries = 0
+        reclaimable_bytes = 0
+        cursor: str | None = None
+        while True:
+            listed = self.transport.list_page(
+                f"{self.prefix}/", cursor, DEFAULT_KEY_BATCH
+            )
+            if not listed:
+                break
+            entries += len(listed)
+            size += sum(nbytes for _, nbytes, _ in listed)
+            sizes = {object_key: nbytes for object_key, nbytes, _ in listed}
+            bodies = self.transport.get_many(list(sizes))
+            for object_key, (body, _) in bodies.items():
+                if entry_is_unreachable(body.decode("utf-8", "replace")):
+                    reclaimable_entries += 1
+                    reclaimable_bytes += sizes[object_key]
+            cursor = listed[-1][0]
+            if len(listed) < DEFAULT_KEY_BATCH:
+                break
+        return CacheStats(
+            entries=entries,
+            size_bytes=size,
+            hits=0,
+            misses=0,
+            reclaimable_entries=reclaimable_entries,
+            reclaimable_bytes=reclaimable_bytes,
+        )
+
+    def gc(
+        self,
+        max_bytes: int | None = None,
+        max_age_days: float | None = None,
+        now: float | None = None,
+    ) -> GCReport:
+        with store_op(_BACKEND, "gc"):
+            return self._gc(max_bytes=max_bytes, max_age_days=max_age_days, now=now)
+
+    def _gc(
+        self,
+        max_bytes: int | None = None,
+        max_age_days: float | None = None,
+        now: float | None = None,
+    ) -> GCReport:
+        now = time.time() if now is None else now
+        # Pass 1: reachability + age, one LIST page at a time, deleting
+        # doomed objects per page.  Only survivor metadata is kept
+        # (mtime, size, object key — never bodies): the LRU pass needs
+        # a global mtime order and a bucket cannot serve one.
+        survivors: list[tuple[float, int, str]] = []
+        removed_entries = 0
+        removed_bytes = 0
+        scanned = 0
+        cursor: str | None = None
+        while True:
+            listed = self._page_after_object(cursor)
+            if not listed:
+                break
+            scanned += len(listed)
+            bodies = self.transport.get_many([object_key for object_key, _, _ in listed])
+            doomed: list[str] = []
+            for object_key, nbytes, mtime in listed:
+                stale = (
+                    max_age_days is not None and now - mtime > max_age_days * 86400.0
+                )
+                body = bodies.get(object_key)
+                unreachable = body is None or entry_is_unreachable(
+                    body[0].decode("utf-8", "replace")
+                )
+                if stale or unreachable:
+                    doomed.append(object_key)
+                    removed_entries += 1
+                    removed_bytes += nbytes
+                else:
+                    survivors.append((mtime, nbytes, object_key))
+            if doomed:
+                self.transport.delete_many(doomed)
+            cursor = listed[-1][0]
+            if len(listed) < DEFAULT_KEY_BATCH:
+                break
+        # Pass 2: LRU eviction down to the byte budget.
+        if max_bytes is not None:
+            survivors.sort()  # oldest mtime first
+            total = sum(nbytes for _, nbytes, _ in survivors)
+            doomed = []
+            while survivors and total > max_bytes:
+                _, nbytes, object_key = survivors.pop(0)
+                doomed.append(object_key)
+                removed_entries += 1
+                removed_bytes += nbytes
+                total -= nbytes
+            for chunk in chunked(doomed):
+                self.transport.delete_many(chunk)
+        return GCReport(
+            scanned_entries=scanned,
+            removed_entries=removed_entries,
+            removed_bytes=removed_bytes,
+            kept_entries=len(survivors),
+            kept_bytes=sum(nbytes for _, nbytes, _ in survivors),
+        )
+
+    def _page_after_object(
+        self, object_cursor: str | None
+    ) -> list[tuple[str, int, float]]:
+        return self.transport.list_page(
+            f"{self.prefix}/", object_cursor, DEFAULT_KEY_BATCH
+        )
+
+    def clear(self) -> int:
+        with store_op(_BACKEND, "clear"):
+            removed = 0
+            while True:
+                # Always restart from the top: each pass deleted what
+                # the previous one listed.
+                listed = self._page_after_object(None)
+                if not listed:
+                    return removed
+                self.transport.delete_many(
+                    [object_key for object_key, _, _ in listed]
+                )
+                removed += len(listed)
+
+    def close(self) -> None:
+        self.transport.close()
+
+
+def open_object_store(text: str) -> ObjectStore:
+    """Open an :class:`ObjectStore` from an ``s3:`` or ``obj:`` location.
+
+    ``s3://bucket/prefix`` prefers boto3 but honors
+    :data:`ENDPOINT_ENV` as an S3-compatible HTTP endpoint override;
+    ``obj:http://host:port/bucket/prefix`` names the endpoint inline
+    and always uses the stdlib HTTP transport.
+    """
+    scheme, _, rest = text.partition(":")
+    scheme = scheme.lower()
+    if scheme == "s3":
+        parsed = urllib.parse.urlsplit(text)
+        bucket = parsed.netloc
+        prefix = parsed.path.strip("/") or "repro"
+        if not bucket:
+            raise ValueError(f"object store location {text!r} names no bucket")
+        endpoint = os.environ.get(ENDPOINT_ENV)
+        if endpoint:
+            return ObjectStore(HTTPTransport(endpoint, bucket), prefix=prefix)
+        return ObjectStore(Boto3Transport(bucket), prefix=prefix)
+    if scheme == "obj":
+        parsed = urllib.parse.urlsplit(rest)
+        if parsed.scheme not in ("http", "https") or not parsed.netloc:
+            raise ValueError(
+                f"object store location {text!r} must look like "
+                "obj:http://host:port/bucket/prefix"
+            )
+        bucket, _, prefix = parsed.path.strip("/").partition("/")
+        if not bucket:
+            raise ValueError(f"object store location {text!r} names no bucket")
+        endpoint = f"{parsed.scheme}://{parsed.netloc}"
+        return ObjectStore(
+            HTTPTransport(endpoint, bucket), prefix=prefix.strip("/") or "repro"
+        )
+    raise ValueError(f"not an object store location: {text!r}")

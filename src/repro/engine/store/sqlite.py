@@ -27,10 +27,11 @@ import json
 import sqlite3
 import time
 from pathlib import Path
-from typing import Iterable, Iterator
+from typing import Iterable
 
 from ...obs import store_op
 from .base import (
+    DEFAULT_KEY_BATCH,
     SCHEMA_VERSION,
     CacheStats,
     GCReport,
@@ -86,6 +87,11 @@ class SqlitePackStore:
             conn.execute("PRAGMA journal_mode=WAL")
             conn.execute("PRAGMA synchronous=NORMAL")
             conn.execute(_SCHEMA_SQL)
+            # LRU eviction walks entries oldest-first; without this index
+            # each gc pass-2 page would sort the whole table.
+            conn.execute(
+                "CREATE INDEX IF NOT EXISTS entries_mtime ON entries (mtime, key)"
+            )
             conn.commit()
             self._conn = conn
         return self._conn
@@ -246,10 +252,20 @@ class SqlitePackStore:
 
     # -- maintenance --------------------------------------------------------
 
-    def iter_keys(self) -> Iterator[str]:
+    def iter_keys(
+        self, start_after: str | None = None, limit: int | None = None
+    ) -> list[str]:
+        page = DEFAULT_KEY_BATCH if limit is None else max(0, int(limit))
+        if page == 0:
+            return []
         conn = self._connect()
-        for (key,) in conn.execute("SELECT key FROM entries ORDER BY key").fetchall():
-            yield key
+        # Keyset pagination: the primary-key index serves each page in
+        # O(log n + page) without ever materializing the full key set.
+        rows = conn.execute(
+            "SELECT key FROM entries WHERE key > ? ORDER BY key LIMIT ?",
+            ("" if start_after is None else start_after, page),
+        ).fetchall()
+        return [key for (key,) in rows]
 
     def size_bytes(self) -> int:
         conn = self._connect()
@@ -263,10 +279,22 @@ class SqlitePackStore:
         entries, size = conn.execute(totals).fetchone()
         reclaimable_entries = 0
         reclaimable_bytes = 0
-        for text, nbytes in conn.execute("SELECT entry, nbytes FROM entries"):
-            if entry_is_unreachable(text):
-                reclaimable_entries += 1
-                reclaimable_bytes += nbytes
+        cursor = ""
+        while True:
+            rows = conn.execute(
+                "SELECT key, entry, nbytes FROM entries WHERE key > ?"
+                " ORDER BY key LIMIT ?",
+                (cursor, DEFAULT_KEY_BATCH),
+            ).fetchall()
+            if not rows:
+                break
+            for _, text, nbytes in rows:
+                if entry_is_unreachable(text):
+                    reclaimable_entries += 1
+                    reclaimable_bytes += nbytes
+            cursor = rows[-1][0]
+            if len(rows) < DEFAULT_KEY_BATCH:
+                break
         return CacheStats(
             entries=entries,
             size_bytes=size,
@@ -293,38 +321,76 @@ class SqlitePackStore:
     ) -> GCReport:
         now = time.time() if now is None else now
         conn = self._connect()
-        survivors: list[tuple[float, int, str]] = []  # (mtime, nbytes, key)
-        removed: list[tuple[int, str]] = []
+        removed_entries = 0
+        removed_bytes = 0
         scanned = 0
-        for key, text, nbytes, mtime in conn.execute(
-            "SELECT key, entry, nbytes, mtime FROM entries"
-        ):
-            scanned += 1
-            if entry_is_unreachable(text):
-                removed.append((nbytes, key))
-            elif max_age_days is not None and now - mtime > max_age_days * 86400.0:
-                removed.append((nbytes, key))
-            else:
-                survivors.append((mtime, nbytes, key))
+        # Pass 1: reachability + age, one keyset page at a time.  Doomed
+        # keys are deleted per page, so memory stays bounded by the page
+        # size no matter how large the pack is (deletions behind the
+        # cursor never disturb keyset resumption).
+        cursor = ""
+        while True:
+            rows = conn.execute(
+                "SELECT key, entry, nbytes, mtime FROM entries WHERE key > ?"
+                " ORDER BY key LIMIT ?",
+                (cursor, DEFAULT_KEY_BATCH),
+            ).fetchall()
+            if not rows:
+                break
+            scanned += len(rows)
+            doomed: list[str] = []
+            for key, text, nbytes, mtime in rows:
+                stale = (
+                    max_age_days is not None and now - mtime > max_age_days * 86400.0
+                )
+                if stale or entry_is_unreachable(text):
+                    doomed.append(key)
+                    removed_bytes += nbytes
+            if doomed:
+                removed_entries += len(doomed)
+                marks = ",".join("?" * len(doomed))
+                conn.execute(f"DELETE FROM entries WHERE key IN ({marks})", doomed)
+                conn.commit()
+            cursor = rows[-1][0]
+            if len(rows) < DEFAULT_KEY_BATCH:
+                break
+        # Pass 2: LRU eviction down to the byte budget.  The (mtime, key)
+        # index hands back the oldest survivors page by page; no
+        # whole-table sort, no whole-table list.
         if max_bytes is not None:
-            survivors.sort()  # oldest mtime first
-            total = sum(nbytes for _, nbytes, _ in survivors)
-            while survivors and total > max_bytes:
-                _, nbytes, key = survivors.pop(0)
-                removed.append((nbytes, key))
-                total -= nbytes
-        if removed:
-            for chunk in chunked([key for _, key in removed]):
-                marks = ",".join("?" * len(chunk))
-                conn.execute(f"DELETE FROM entries WHERE key IN ({marks})", chunk)
-            conn.commit()
+            (total,) = conn.execute(
+                "SELECT COALESCE(SUM(nbytes), 0) FROM entries"
+            ).fetchone()
+            while total > max_bytes:
+                rows = conn.execute(
+                    "SELECT key, nbytes FROM entries ORDER BY mtime, key LIMIT ?",
+                    (DEFAULT_KEY_BATCH,),
+                ).fetchall()
+                if not rows:
+                    break
+                doomed = []
+                for key, nbytes in rows:
+                    if total <= max_bytes:
+                        break
+                    doomed.append(key)
+                    total -= nbytes
+                    removed_bytes += nbytes
+                if doomed:
+                    removed_entries += len(doomed)
+                    marks = ",".join("?" * len(doomed))
+                    conn.execute(f"DELETE FROM entries WHERE key IN ({marks})", doomed)
+                    conn.commit()
+        if removed_entries:
             self._reclaim_pages(conn)
+        kept_entries, kept_bytes = conn.execute(
+            "SELECT COUNT(*), COALESCE(SUM(nbytes), 0) FROM entries"
+        ).fetchone()
         return GCReport(
             scanned_entries=scanned,
-            removed_entries=len(removed),
-            removed_bytes=sum(nbytes for nbytes, _ in removed),
-            kept_entries=len(survivors),
-            kept_bytes=sum(nbytes for _, nbytes, _ in survivors),
+            removed_entries=removed_entries,
+            removed_bytes=removed_bytes,
+            kept_entries=kept_entries,
+            kept_bytes=kept_bytes,
         )
 
     def clear(self) -> int:

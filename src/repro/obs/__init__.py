@@ -51,7 +51,7 @@ from .metrics import (
     span_stack,
     store_op,
 )
-from .progress import ProgressLine, format_duration
+from .progress import ProgressLine, TransferLine, format_duration
 
 __all__ = [
     "CALIBRATION_ENV",
@@ -64,6 +64,7 @@ __all__ = [
     "MetricsRegistry",
     "ProgressLine",
     "Span",
+    "TransferLine",
     "bucket_key",
     "configure_logging",
     "default_calibration",

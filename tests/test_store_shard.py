@@ -29,7 +29,22 @@ from repro.engine import (
     workload_compare,
 )
 from repro.engine.spec import iter_spec_keys
-from repro.engine.store import SCHEMA_VERSION, encode_entry
+from repro.engine.store import (
+    DEFAULT_KEY_BATCH,
+    SCHEMA_VERSION,
+    FakeBucketServer,
+    HTTPTransport,
+    MemoryTransport,
+    ObjectStore,
+    ObjectStoreError,
+    RawEntry,
+    encode_entry,
+    iter_all_keys,
+    iter_key_pages,
+    open_object_store,
+)
+from repro.engine.store import base as base_module
+from repro.engine.store import http as http_module
 
 #: Tiny but shape-preserving windows for the sn54/cm54 class.
 FAST = dict(warmup=100, measure=200, drain=300)
@@ -56,15 +71,21 @@ def remote_store(server, **overrides):
     return RemoteStore(server.url, **kw)
 
 
-@pytest.fixture(params=["dir", "sqlite", "remote"])
+@pytest.fixture(params=["dir", "sqlite", "remote", "object"])
 def backend(request, tmp_path):
     """Every store implementation, including the HTTP client against a
-    live ephemeral-port server — the wire protocol passes the same
-    equivalence suite the local backends do."""
+    live ephemeral-port server and the object store against a live fake
+    bucket — the wire protocols pass the same equivalence suite the
+    local backends do."""
     if request.param == "dir":
         yield LocalDirStore(tmp_path / "store")
     elif request.param == "sqlite":
         yield SqlitePackStore(tmp_path / "store.sqlite")
+    elif request.param == "object":
+        with FakeBucketServer() as bucket:
+            store = ObjectStore(HTTPTransport(bucket.url, "tests"), prefix="repro")
+            yield store
+            store.close()
     else:
         with StoreServer(
             SqlitePackStore(tmp_path / "store.sqlite"), quiet=True
@@ -313,6 +334,11 @@ class TestBackendCrossEquivalence:
             open_backend(f"sqlite:{tmp_path}/url"), SqlitePackStore
         )
         assert isinstance(open_backend(f"dir:{tmp_path}/x.sqlite"), LocalDirStore)
+        monkeypatch.setenv("REPRO_OBJECT_ENDPOINT", "http://127.0.0.1:1")
+        assert isinstance(open_backend("s3://bucket/prefix"), ObjectStore)
+        assert isinstance(
+            open_backend("obj:http://127.0.0.1:1/bucket/prefix"), ObjectStore
+        )
         monkeypatch.setenv("REPRO_CACHE_BACKEND", "sqlite")
         packed = open_backend(tmp_path / "plain")
         assert isinstance(packed, SqlitePackStore)
@@ -320,6 +346,20 @@ class TestBackendCrossEquivalence:
         monkeypatch.setenv("REPRO_CACHE_BACKEND", "bogus")
         with pytest.raises(ValueError):
             open_backend(tmp_path / "plain")
+
+    def test_deprecated_location_forms_warn_once(self, tmp_path, caplog):
+        """Suffix-sniffed pack paths and REPRO_CACHE_BACKEND=sqlite still
+        work, but each form logs exactly one deprecation line per
+        process — the explicit schemes stay silent."""
+        base_module._DEPRECATION_WARNED.clear()
+        with caplog.at_level(logging.WARNING, logger="repro.engine.store"):
+            open_backend(tmp_path / "pack.sqlite")
+            open_backend(tmp_path / "other.sqlite")  # same form: no new line
+            open_backend(f"sqlite:{tmp_path}/explicit.sqlite")
+            open_backend(tmp_path / "plain")
+        warned = [r for r in caplog.records if "deprecated" in r.getMessage()]
+        assert len(warned) == 1
+        assert "sqlite:" in warned[0].getMessage()
 
     def test_two_connections_share_one_pack(self, tmp_path):
         """Concurrent writers on one host: separate connections to the
@@ -456,7 +496,7 @@ class TestRemoteStore:
         server.inject_failures(10)
         store = remote_store(server, sleep=lambda _s: None)
         with pytest.raises(RemoteStoreError, match="unreachable after 2"):
-            store.iter_keys().__next__()
+            store.iter_keys()
 
     def test_offline_server_error_names_the_cure(self, tmp_path):
         server = StoreServer(SqlitePackStore(tmp_path / "s.sqlite"))
@@ -474,7 +514,7 @@ class TestRemoteStore:
         ExperimentEngine(cache=ResultCache(backend=source)).run(
             [fast_spec(), fast_spec(load=0.08)]
         )
-        backdated = next(source.iter_keys())
+        backdated = source.iter_keys()[0]
         old = time.time() - 3 * 86400
         source.put_entry(backdated, source.get_entry(backdated).entry, mtime=old)
 
@@ -662,3 +702,381 @@ class TestPoolLifecycle:
         engine.run(specs)  # cache hits; must not resurrect the pool
         assert not engine.pool_active
         engine.close()
+
+
+class TestCursoredIteration:
+    """The redesigned ``iter_keys`` contract on every backend: one
+    sorted bounded page per call, resumable via ``start_after``."""
+
+    def seed(self, backend, n=7):
+        keys = [f"{i:02d}" + "ab" * 31 for i in range(n)]
+        for key in keys:
+            backend.put_payload(key, "sim", {"k": key})
+        return keys
+
+    def test_empty_store_yields_empty_page(self, backend):
+        assert backend.iter_keys() == []
+        assert backend.iter_keys(start_after="zz" * 32, limit=5) == []
+        assert list(iter_all_keys(backend)) == []
+
+    def test_start_after_past_last_key(self, backend):
+        keys = self.seed(backend)
+        assert backend.iter_keys(start_after=keys[-1]) == []
+        assert backend.iter_keys(start_after="zz" * 32) == []
+
+    def test_limit_one_pages_through_everything(self, backend):
+        keys = self.seed(backend)
+        seen = []
+        cursor = None
+        for _ in range(len(keys) + 2):
+            page = backend.iter_keys(start_after=cursor, limit=1)
+            if not page:
+                break
+            assert len(page) == 1
+            seen.extend(page)
+            cursor = page[-1]
+        assert seen == sorted(keys)
+
+    def test_pages_partition_the_key_space(self, backend):
+        keys = self.seed(backend)
+        pages = list(iter_key_pages(backend, batch=3))
+        assert [len(p) for p in pages] == [3, 3, 1]
+        assert [k for page in pages for k in page] == sorted(keys)
+
+    def test_limit_zero_is_empty_not_unbounded(self, backend):
+        self.seed(backend)
+        assert backend.iter_keys(limit=0) == []
+
+    def test_cursor_survives_concurrent_writes(self, backend):
+        """Keyset semantics: entries added or removed behind an
+        in-flight cursor never make it skip or re-serve keys at or
+        before the cursor."""
+        keys = self.seed(backend, n=6)
+        first = backend.iter_keys(limit=3)
+        assert first == sorted(keys)[:3]
+        # A writer lands a key *behind* the cursor and one ahead of it.
+        behind = "00" + "ff" * 31
+        ahead = "98" + "ff" * 31
+        backend.put_payload(behind, "sim", {"k": "behind"})
+        backend.put_payload(ahead, "sim", {"k": "ahead"})
+        rest = []
+        cursor = first[-1]
+        while True:
+            page = backend.iter_keys(start_after=cursor, limit=3)
+            if not page:
+                break
+            rest.extend(page)
+            cursor = page[-1]
+        assert rest == sorted(keys)[3:] + [ahead]  # ahead seen, behind not
+        assert behind not in rest
+        full = list(iter_all_keys(backend))
+        assert full == sorted(keys + [behind, ahead])
+
+
+class TestObjectStore:
+    """Object-store specifics beyond the shared equivalence suite:
+    location parsing, the bucket wire protocol, and merge transport."""
+
+    @pytest.fixture
+    def bucket(self):
+        with FakeBucketServer() as server:
+            yield server
+
+    def test_obj_location_parsing(self, bucket):
+        store = open_object_store(f"obj:{bucket.url}/ci/campaign")
+        assert isinstance(store, ObjectStore)
+        assert store.prefix == "campaign"
+        store.put_payload("aa" * 32, "sim", {"x": 1})
+        assert store.get_payload("aa" * 32, "sim") == {"x": 1}
+        store.close()
+
+    def test_s3_location_uses_endpoint_env(self, bucket, monkeypatch):
+        monkeypatch.setenv("REPRO_OBJECT_ENDPOINT", bucket.url)
+        store = open_object_store("s3://ci/campaign")
+        store.put_payload("aa" * 32, "sim", {"x": 1})
+        same = open_object_store("s3://ci/campaign")
+        assert same.get_payload("aa" * 32, "sim") == {"x": 1}
+        other_prefix = open_object_store("s3://ci/elsewhere")
+        assert other_prefix.stats().entries == 0
+        for s in (store, same, other_prefix):
+            s.close()
+
+    def test_s3_location_without_boto3_names_the_cure(self, monkeypatch):
+        monkeypatch.delenv("REPRO_OBJECT_ENDPOINT", raising=False)
+        import importlib.util
+
+        if importlib.util.find_spec("boto3") is not None:
+            pytest.skip("boto3 installed; the guarded-import path is moot")
+        with pytest.raises(ObjectStoreError, match="REPRO_OBJECT_ENDPOINT"):
+            open_object_store("s3://bucket/prefix")
+
+    def test_bad_locations_rejected(self, monkeypatch):
+        with pytest.raises(ValueError):
+            open_object_store("obj:ftp://host/bucket")
+        with pytest.raises(ValueError):
+            open_object_store("obj:http://127.0.0.1:1/")
+        monkeypatch.setenv("REPRO_OBJECT_ENDPOINT", "http://127.0.0.1:1")
+        with pytest.raises(ValueError):
+            open_object_store("s3://")
+
+    def test_unreachable_endpoint_is_one_clear_error(self):
+        store = open_object_store("obj:http://127.0.0.1:1/ci/campaign")
+        with pytest.raises(ObjectStoreError, match="unreachable"):
+            store.put_payload("aa" * 32, "sim", {"x": 1})
+
+    def test_merge_round_trip_is_byte_identical(self, tmp_path, bucket):
+        """pack -> bucket -> fresh pack preserves canonical bytes and
+        LRU timestamps: the bucket is a transport, not a transform."""
+        source = SqlitePackStore(tmp_path / "src.sqlite")
+        ExperimentEngine(cache=ResultCache(backend=source)).run(
+            [fast_spec(), fast_spec(load=0.08)]
+        )
+        backdated = source.iter_keys()[0]
+        old = time.time() - 3 * 86400
+        source.put_entry(backdated, source.get_entry(backdated).entry, mtime=old)
+
+        remote = ObjectStore(HTTPTransport(bucket.url, "ci"), prefix="campaign")
+        up = merge_stores(remote, source)
+        assert (up.copied, up.conflicts) == (2, 0)
+        out = SqlitePackStore(tmp_path / "out.sqlite")
+        down = merge_stores(out, remote)
+        assert (down.copied, down.conflicts) == (2, 0)
+        for key in source.iter_keys():
+            assert out.get_entry(key).encoded() == source.get_entry(key).encoded()
+        assert abs(out.get_entry(backdated).mtime - old) < 2.0
+        remote.close()
+
+    def test_request_log_shows_batched_puts(self, bucket):
+        store = ObjectStore(HTTPTransport(bucket.url, "ci"), prefix="campaign")
+        store.put_payload_many(
+            [(f"{i:02d}" + "aa" * 31, "sim", {"i": i}, None) for i in range(5)]
+        )
+        puts = [line for line in bucket.request_log if line.startswith("PUT ")]
+        assert len(puts) == 5
+        store.close()
+
+
+class CappedTransport:
+    """Delegating transport that fails the test on any page or batch
+    larger than the cap — the bucket-level batch-size assertion."""
+
+    def __init__(self, inner, cap):
+        self.inner = inner
+        self.cap = cap
+        self.location = inner.location
+        self.max_seen = 0
+
+    def _check(self, n):
+        self.max_seen = max(self.max_seen, n)
+        assert n <= self.cap, f"transport batch of {n} keys exceeds cap {self.cap}"
+
+    def get_many(self, keys):
+        self._check(len(keys))
+        return self.inner.get_many(keys)
+
+    def put_many(self, items):
+        self._check(len(items))
+        return self.inner.put_many(items)
+
+    def touch_many(self, items):
+        self._check(len(items))
+        return self.inner.touch_many(items)
+
+    def delete_many(self, keys):
+        self._check(len(keys))
+        return self.inner.delete_many(keys)
+
+    def list_page(self, prefix, start_after, limit):
+        self._check(limit)
+        page = self.inner.list_page(prefix, start_after, limit)
+        self._check(len(page))
+        return page
+
+    def close(self):
+        self.inner.close()
+
+
+class CappedBackend:
+    """Delegating backend that fails the test on any single key fetch
+    larger than the cap — the store-level batch-size assertion."""
+
+    def __init__(self, inner, cap):
+        self.inner = inner
+        self.cap = cap
+        self.location = inner.location
+        self.max_seen = 0
+        self.pages = 0
+
+    def _check(self, n):
+        self.max_seen = max(self.max_seen, n)
+        assert n <= self.cap, f"key fetch of {n} keys exceeds cap {self.cap}"
+
+    def iter_keys(self, start_after=None, limit=None):
+        page = list(self.inner.iter_keys(start_after=start_after, limit=limit))
+        self._check(len(page))
+        self.pages += 1
+        return page
+
+    def get_entry_many(self, keys):
+        keys = list(keys)
+        self._check(len(keys))
+        return self.inner.get_entry_many(keys)
+
+    def get_payload_many(self, keys, kind):
+        keys = list(keys)
+        self._check(len(keys))
+        return self.inner.get_payload_many(keys, kind)
+
+    def put_entry_many(self, entries):
+        entries = list(entries)
+        self._check(len(entries))
+        return self.inner.put_entry_many(entries)
+
+    def __getattr__(self, name):
+        return getattr(self.inner, name)
+
+
+class TestBoundedIterationAt50k:
+    """The acceptance bound: a 50k-entry store's stats, gc, and merge
+    complete with every key fetch capped at 512 keys."""
+
+    CAP = 512
+    N = 50_000
+
+    def entries(self):
+        now = time.time()
+        for i in range(self.N):
+            # No "spec" field: reachable under every schema check, and
+            # small enough that 50k of them build in a few seconds.
+            yield RawEntry(
+                key=f"{i:08x}" + "00" * 28,
+                entry={"schema": SCHEMA_VERSION, "kind": "sim", "result": {"i": i}},
+                mtime=now - (self.N - i),
+            )
+
+    def fill(self, backend):
+        chunk = []
+        for raw in self.entries():
+            chunk.append(raw)
+            if len(chunk) == 500:
+                backend.put_entry_many(chunk)
+                chunk = []
+        if chunk:
+            backend.put_entry_many(chunk)
+
+    def test_sqlite_stats_merge_gc_stay_bounded(self, tmp_path):
+        transport = CappedTransport(MemoryTransport(), self.CAP)
+        bucket_store = ObjectStore(transport, prefix="repro")
+        pack = SqlitePackStore(tmp_path / "big.sqlite")
+        self.fill(pack)
+
+        source = CappedBackend(pack, self.CAP)
+        stats = source.stats()
+        assert stats.entries == self.N
+        assert stats.reclaimable_entries == 0
+
+        # merge streams cursored pages through both capped wrappers.
+        report = merge_stores(bucket_store, source)
+        assert report.copied == self.N
+        assert source.pages >= self.N // DEFAULT_KEY_BATCH
+
+        # Object-store maintenance paths observe the transport cap.
+        assert bucket_store.stats().entries == self.N
+        gc_report = bucket_store.gc(max_bytes=0)
+        assert gc_report.removed_entries == self.N
+
+        # SQLite gc pages internally; the pack still empties fully.
+        pack_report = pack.gc(max_bytes=0)
+        assert pack_report.removed_entries == self.N
+        assert pack.stats().entries == 0
+        assert transport.max_seen <= self.CAP
+        assert source.max_seen <= self.CAP
+
+
+class TestWireProtocolV2:
+    @pytest.fixture
+    def server(self, tmp_path):
+        with StoreServer(
+            SqlitePackStore(tmp_path / "served.sqlite"), quiet=True
+        ) as server:
+            yield server
+
+    def test_health_advertises_protocol(self, server):
+        health = remote_store(server).ping()
+        assert health["protocol"] == http_module.PROTOCOL_VERSION
+        assert health["protocol"] >= 2
+
+    def test_keys_list_pages_and_next_cursor(self, server):
+        store = remote_store(server)
+        keys = [f"{i:02d}" + "cd" * 31 for i in range(5)]
+        for key in keys:
+            store.put_payload(key, "sim", {"k": key})
+        first = store._call("keys/list", {"start_after": None, "limit": 2})
+        assert first["keys"] == keys[:2]
+        assert first["next"] == keys[1]
+        second = store._call("keys/list", {"start_after": first["next"], "limit": 9})
+        assert second["keys"] == keys[2:]
+        assert second["next"] is None
+
+    def test_legacy_keys_endpoint_still_serves_full_dump(self, server):
+        store = remote_store(server)
+        keys = [f"{i:02d}" + "ef" * 31 for i in range(4)]
+        for key in keys:
+            store.put_payload(key, "sim", {"k": key})
+        assert store._call("keys")["keys"] == keys
+
+    def test_client_falls_back_to_legacy_keys_on_old_server(
+        self, server, monkeypatch
+    ):
+        """A pre-redesign server (no keys/list route) still iterates
+        correctly: the client notices the 404 once, then pages the
+        legacy full dump client-side."""
+        monkeypatch.delitem(http_module._POST_ROUTES, "/keys/list")
+        store = remote_store(server)
+        keys = [f"{i:02d}" + "aa" * 31 for i in range(5)]
+        for key in keys:
+            store.put_payload(key, "sim", {"k": key})
+        assert store.iter_keys(limit=2) == keys[:2]
+        assert store._legacy_keys is True
+        assert store.iter_keys(start_after=keys[1], limit=2) == keys[2:4]
+        assert list(iter_all_keys(store, batch=2)) == keys
+        # A fresh client (fresh fallback flag) sees the same key space.
+        assert list(iter_all_keys(remote_store(server), batch=3)) == keys
+
+
+class TestMergeObservability:
+    def test_merge_emits_progress_pages_and_counters(self, tmp_path):
+        from repro.obs.metrics import REGISTRY
+
+        a = SqlitePackStore(tmp_path / "a.sqlite")
+        b = SqlitePackStore(tmp_path / "b.sqlite")
+        keys = [f"{i:02d}" + "bb" * 31 for i in range(7)]
+        for key in keys:
+            a.put_payload(key, "sim", {"k": key})
+        b.put_payload(keys[0], "sim", {"k": keys[0]})  # one skip
+
+        before = REGISTRY.value("repro_store_merge_keys_total", outcome="copied")
+        deltas = []
+        report = merge_stores(b, a, progress=deltas.append, batch=3)
+        assert report.copied == 6
+        assert report.skipped == 1
+        assert len(deltas) == 3  # pages of 3, 3, 1
+        assert sum(d.copied for d in deltas) == report.copied
+        assert sum(d.skipped for d in deltas) == report.skipped
+        after = REGISTRY.value("repro_store_merge_keys_total", outcome="copied")
+        assert after - before == 6
+
+    def test_transfer_line_renders_keys_bytes_eta(self):
+        import io
+
+        from repro.obs import TransferLine
+
+        stream = io.StringIO()
+        line = TransferLine(10, stream=stream, label="transfer")
+        line.advance(keys=4, nbytes=2_000_000)
+        text = stream.getvalue()
+        assert "transfer: 4/10 keys" in text
+        assert "2.0 MB" in text
+        line.advance(keys=6, nbytes=500_000)
+        line.finish()
+        assert stream.getvalue().endswith("\n")
