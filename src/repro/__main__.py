@@ -90,6 +90,7 @@ from __future__ import annotations
 
 import argparse
 import json
+import os
 import signal
 import sys
 import threading
@@ -97,6 +98,8 @@ import time
 
 from .analysis import format_table
 from .engine import (
+    EXECUTOR_ENV,
+    EXECUTORS,
     ExperimentEngine,
     QueueClient,
     QueueWorker,
@@ -172,11 +175,19 @@ def _build_config(args: argparse.Namespace) -> SimConfig:
 
 def _build_engine(args: argparse.Namespace) -> ExperimentEngine:
     cache = None if args.no_cache else ResultCache(args.cache_dir)
+    executor = getattr(args, "executor", None)
+    if executor is None:
+        executor = os.environ.get(EXECUTOR_ENV, "") or "pool"
+        if executor not in EXECUTORS:
+            executor = "pool"
     # CLI campaigns run calibrated: executed specs feed the measured-cost
     # table, and cost-balanced shards / ETAs read it back.  Library users
     # opt in explicitly (ExperimentEngine(calibration=...)).
     return ExperimentEngine(
-        cache=cache, max_workers=args.workers, calibration=default_calibration()
+        cache=cache,
+        max_workers=args.workers,
+        calibration=default_calibration(),
+        executor=executor,
     )
 
 
@@ -397,6 +408,16 @@ def _add_engine_options(parser: argparse.ArgumentParser) -> None:
         "--no-cache",
         action="store_true",
         help="disable the on-disk result cache",
+    )
+    parser.add_argument(
+        "--executor",
+        choices=EXECUTORS,
+        default=None,
+        help="miss dispatch tier: 'pool' (scalar core, default), 'batch' "
+        "(NumPy lockstep kernel for shape-compatible specs; needs the "
+        "optional numpy dependency), or 'auto' (batch when available "
+        "and the group is big enough to win per the cost calibration); "
+        "REPRO_EXECUTOR sets the default",
     )
     parser.add_argument(
         "--cache-dir",

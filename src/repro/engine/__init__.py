@@ -76,7 +76,7 @@ from .campaign import (
     workload_compare,
 )
 from .queue import JobQueue, QueueClient, QueueJob, jobs_for_specs
-from .runner import ExperimentEngine, RunStats, default_engine
+from .runner import EXECUTOR_ENV, EXECUTORS, ExperimentEngine, RunStats, default_engine
 from .spec import (
     SPEC_VERSION,
     ExperimentSpec,
@@ -119,6 +119,8 @@ from .worker import QueueWorker, WorkerStats, default_worker_id
 __all__ = [
     "ExperimentSpec",
     "ExperimentEngine",
+    "EXECUTOR_ENV",
+    "EXECUTORS",
     "CacheBackend",
     "FaultyBackend",
     "InjectedFault",

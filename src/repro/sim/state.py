@@ -1,0 +1,137 @@
+"""Shared array-of-struct network layout.
+
+``NetworkState`` derives, once, everything about a ``(topology, config)``
+pair that is pure structure rather than live simulation state: the sorted
+neighbor lists, the directed-link order (which fixes event-code ordinals),
+per-link latencies, every input unit's identity in the router's fixed
+build order, and the initial credit grant per (output port, VC).
+
+Both simulator cores build from it:
+
+* the scalar event-driven core (``network.NoCSimulator._build``) turns
+  each ``UnitSpec`` into a live ``_InputUnit`` — it is the bit-identical
+  reference implementation, protected by the golden digests;
+* the batched lockstep kernel (``batch``) turns the same specs into
+  NumPy arrays indexed ``[sim, unit]`` / ``[sim, link, vc]``.
+
+Keeping the derivation in one place is what makes "batch equals scalar"
+an invariant rather than two parallel reimplementations that drift.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .config import SimConfig
+from .links import link_latency
+
+__all__ = ["UnitSpec", "RouterState", "NetworkState"]
+
+
+@dataclass(frozen=True)
+class UnitSpec:
+    """One (input port, VC) FIFO in a router's fixed build order.
+
+    ``node`` is set for injection units (the NIC they serve); link units
+    carry ``upstream``/``vc`` plus the latency of the upstream link, which
+    doubles as the credit-return latency.
+    """
+
+    index: int
+    capacity: int
+    node: int | None = None
+    upstream: int | None = None
+    vc: int = 0
+    credit_latency: int = 0
+
+    @property
+    def is_injection(self) -> bool:
+        return self.node is not None
+
+
+@dataclass(frozen=True)
+class RouterState:
+    """Structural layout of one router.
+
+    ``units`` lists every input FIFO in the canonical build order (sorted
+    neighbors x VCs, then one injection unit per attached node) —
+    arbitration insertion order, unit indices, and the batch kernel's
+    flat unit axis all follow from it.  ``credit_init`` is the initial
+    credit count per flat ``out_base[neighbor] + vc`` slot: the depth of
+    the downstream input buffer on that link.
+    """
+
+    index: int
+    neighbors: tuple[int, ...]
+    units: tuple[UnitSpec, ...]
+    credit_init: tuple[int, ...]
+
+
+@dataclass(frozen=True)
+class NetworkState:
+    """Full structural layout of a network under one ``SimConfig``.
+
+    ``link_order`` enumerates the directed links in canonical order —
+    ``topology.edges()`` expanded to ``(i, j), (j, i)`` pairs — which
+    fixes the scalar core's event-code ordinals and the batch kernel's
+    link axis.  ``link_cycles[d]`` is the latency of directed link ``d``
+    (symmetric, stored per direction for O(1) lookup).
+    """
+
+    num_vcs: int
+    num_routers: int
+    num_nodes: int
+    link_order: tuple[tuple[int, int], ...]
+    link_cycles: dict[tuple[int, int], int]
+    routers: tuple[RouterState, ...]
+
+    @classmethod
+    def build(cls, topology, config: SimConfig) -> "NetworkState":
+        """Derive the layout.  ``config.num_vcs`` must already reflect any
+        routing-imposed VC floor (the simulator applies it before calling)."""
+        order: list[tuple[int, int]] = []
+        cycles: dict[tuple[int, int], int] = {}
+        for i, j in topology.edges():
+            lat = link_latency(topology.link_length_hops(i, j), config.hops_per_cycle)
+            for a, b in ((i, j), (j, i)):
+                cycles[(a, b)] = lat
+                order.append((a, b))
+        routers: list[RouterState] = []
+        for r in range(topology.num_routers):
+            neighbors = tuple(sorted(topology.router_neighbors(r)))
+            units: list[UnitSpec] = []
+            for neighbor in neighbors:
+                lat = cycles[(neighbor, r)]
+                depth = config.buffer_depth_for(lat)
+                for vc in range(config.num_vcs):
+                    units.append(
+                        UnitSpec(
+                            index=len(units),
+                            capacity=depth,
+                            upstream=neighbor,
+                            vc=vc,
+                            credit_latency=lat,
+                        )
+                    )
+            for node in topology.router_nodes(r):
+                units.append(UnitSpec(index=len(units), capacity=10**9, node=node))
+            credit_init: list[int] = []
+            for neighbor in neighbors:
+                peer_depth = config.buffer_depth_for(cycles[(r, neighbor)])
+                credit_init.extend(peer_depth for _ in range(config.num_vcs))
+            routers.append(
+                RouterState(
+                    index=r,
+                    neighbors=neighbors,
+                    units=tuple(units),
+                    credit_init=tuple(credit_init),
+                )
+            )
+        return cls(
+            num_vcs=config.num_vcs,
+            num_routers=topology.num_routers,
+            num_nodes=topology.num_nodes,
+            link_order=tuple(order),
+            link_cycles=cycles,
+            routers=tuple(routers),
+        )

@@ -1,0 +1,264 @@
+"""Batch-tier equivalence and dispatch tests.
+
+The NumPy lockstep kernel (:mod:`repro.sim.batch`) is, like the
+activity-tracked scheduler before it, a pure performance optimization:
+for every lane it must produce **bit-identical** ``SimResult``\\ s to the
+scalar core.  These tests pin that contract against the same golden
+digests the scalar core is pinned to, and cover the engine-side dispatch
+decisions: shape grouping, the ``auto`` worthwhileness policy, and the
+guarded-NumPy fallback paths.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+from test_golden_digests import CONFIGS, MATRIX, case_id, digest, load_golden, run_case
+
+from repro.engine import ExperimentEngine, SyntheticTraffic
+from repro.engine.batching import (
+    MIN_AUTO_LANES,
+    batch_worthwhile,
+    group_batchable,
+    spec_batchable,
+)
+from repro.engine.spec import ExperimentSpec, build_routing
+from repro.sim import (
+    BatchLane,
+    BatchUnavailableError,
+    SimConfig,
+    batchable_config,
+    batchable_routing,
+    el_links,
+    numpy_available,
+    simulate_batch,
+)
+from repro.sim import batch as batch_mod
+from repro.topos import make_network
+
+requires_numpy = pytest.mark.skipif(
+    not numpy_available(), reason="numpy not installed"
+)
+
+#: Golden-matrix rows the lockstep kernel models (synthetic patterns over
+#: credit flow control; elastic links and the CBR stay scalar-only).
+BATCHABLE_CASES = [
+    case for case in MATRIX if batchable_config(CONFIGS[case[2]]())
+]
+
+
+def canonical(payload: dict) -> str:
+    return json.dumps(payload, sort_keys=True, separators=(",", ":"))
+
+
+def batch_for_cases(cases):
+    """Run one lockstep batch per shape-compatible slice of ``cases``."""
+    out = {}
+    by_shape: dict[tuple, list] = {}
+    for case in cases:
+        topo_sym, _pattern, cfg, _load, _seed, warmup, measure, drain = case
+        by_shape.setdefault((topo_sym, cfg, warmup, measure, drain), []).append(case)
+    for (topo_sym, cfg, warmup, measure, drain), members in by_shape.items():
+        topology = make_network(topo_sym)
+        routing = build_routing("default", topology)
+        lanes = [
+            BatchLane(pattern=pattern, load=load, packet_flits=6, seed=seed)
+            for _topo, pattern, _cfg, load, seed, *_ in members
+        ]
+        results = simulate_batch(
+            topology,
+            CONFIGS[cfg](),
+            routing,
+            lanes,
+            warmup=warmup,
+            measure=measure,
+            drain=drain,
+        )
+        for case, result in zip(members, results):
+            out[case_id(case)] = result
+    return out
+
+
+@requires_numpy
+def test_batch_reproduces_golden_digests():
+    """Every batchable golden case hashes to the *committed* digest —
+    the kernel is pinned to the same bytes as the scalar core."""
+    golden = load_golden()
+    assert len(BATCHABLE_CASES) >= 10
+    results = batch_for_cases(BATCHABLE_CASES)
+    for case in BATCHABLE_CASES:
+        assert digest(results[case_id(case)].to_dict()) == golden[case_id(case)], (
+            f"batch kernel diverged from golden digest on {case_id(case)}"
+        )
+
+
+@requires_numpy
+def test_batch_percentiles_and_sorted_latencies_match_scalar():
+    """The cached ``sorted_latencies`` (assembled once from the batch
+    arrays) and the percentile views derived from it match the scalar
+    core exactly."""
+    from repro.sim import SimResult
+
+    case = ("sn54", "RND", "eb", 0.08, 1, 80, 200, 600)
+    assert case in BATCHABLE_CASES
+    scalar = SimResult.from_dict(run_case(case))
+    batched = batch_for_cases([case])[case_id(case)]
+    assert batched.sorted_latencies == scalar.sorted_latencies
+    ordered = scalar.sorted_latencies
+    p50 = ordered[len(ordered) // 2]
+    assert batched.sorted_latencies[len(batched.sorted_latencies) // 2] == p50
+    assert batched.p99_latency == scalar.p99_latency
+    assert batched.avg_latency == scalar.avg_latency
+
+
+@requires_numpy
+def test_lane_rng_streams_are_isolated():
+    """A lane's result is a function of its own (pattern, load, seed)
+    only — re-batching it alongside different neighbors changes nothing."""
+    topology = make_network("sn54")
+    routing = build_routing("default", topology)
+    config = SimConfig()
+    windows = dict(warmup=60, measure=240, drain=400)
+    probe = BatchLane(pattern="RND", load=0.08, packet_flits=6, seed=7)
+    alone = simulate_batch(topology, config, routing, [probe], **windows)[0]
+    crowd = [
+        BatchLane(pattern="ASYM", load=0.3, packet_flits=6, seed=7),
+        probe,
+        BatchLane(pattern="RND", load=0.02, packet_flits=2, seed=8),
+    ]
+    together = simulate_batch(topology, config, routing, crowd, **windows)[1]
+    assert canonical(alone.to_dict()) == canonical(together.to_dict())
+
+
+def _spec(load=0.05, seed=1, *, pattern="RND", config=None, routing="default"):
+    return ExperimentSpec(
+        topology="54",
+        routing=routing,
+        config=config or SimConfig(),
+        source=SyntheticTraffic(pattern=pattern, load=load),
+        packet_flits=6,
+        seed=seed,
+        warmup=50,
+        measure=200,
+        drain=300,
+    )
+
+
+def test_grouping_separates_unbatchable_specs():
+    """Elastic-link configs and RNG routing stay on the scalar path;
+    shape-compatible specs form one group."""
+    batchable = [_spec(load, seed) for load in (0.02, 0.05) for seed in (1, 2)]
+    elastic = _spec(0.05, 3, config=el_links())
+    rng_routed = _spec(0.05, 4, routing="rng")
+    assert not spec_batchable(elastic)
+    assert not spec_batchable(rng_routed)
+    assert not batchable_routing("rng")
+    misses = [(f"k{i}", s) for i, s in enumerate([elastic, *batchable, rng_routed])]
+    groups, rest = group_batchable(misses)
+    assert [key for key, _ in rest] == ["k0", "k5"]
+    assert len(groups) == 1 and len(groups[0]) == 4
+
+
+def test_grouping_splits_incompatible_shapes():
+    """Different configs (and windows) never share a lockstep group."""
+    from repro.sim import eb_var
+
+    a = _spec(0.05, 1)
+    b = _spec(0.05, 2, config=eb_var())
+    groups, rest = group_batchable([("a", a), ("b", b)])
+    assert not rest
+    assert sorted(len(g) for g in groups) == [1, 1]
+
+
+class _StubCalibration:
+    def __init__(self, per_spec_seconds):
+        self.per_spec_seconds = per_spec_seconds
+
+    def seconds_for(self, nodes, cycles, load):
+        return self.per_spec_seconds
+
+    def observe(self, nodes, cycles, load, seconds):
+        pass
+
+
+def _group_of(n):
+    groups, rest = group_batchable([(f"k{i}", _spec(0.02 + i * 0.01)) for i in range(n)])
+    assert not rest and len(groups) == 1
+    return groups[0]
+
+
+def test_auto_policy_thresholds():
+    group = _group_of(4)
+    assert not batch_worthwhile(_group_of(MIN_AUTO_LANES - 1), 54, None)
+    # No calibration: batch optimistically.
+    assert batch_worthwhile(group, 54, None)
+    # Calibration says the whole group is trivial: stay scalar.
+    assert not batch_worthwhile(group, 54, _StubCalibration(0.001))
+    # Calibration predicts real work: batch.
+    assert batch_worthwhile(group, 54, _StubCalibration(0.5))
+    # Uncovered workload: batch optimistically.
+    assert batch_worthwhile(group, 54, _StubCalibration(None))
+
+
+@requires_numpy
+def test_engine_batch_results_bit_identical_to_pool():
+    """End to end through the engine: ``batch`` and ``pool`` dispatch
+    produce byte-identical results, and unbatchable specs fall back."""
+    specs = [_spec(load, seed) for load in (0.02, 0.06) for seed in (1, 2)]
+    specs.append(_spec(0.05, 3, config=el_links()))  # scalar-only straggler
+    pool_results = ExperimentEngine(cache=None, executor="pool").run(specs)
+    batch_engine = ExperimentEngine(cache=None, executor="batch")
+    batch_results = batch_engine.run(specs)
+    assert batch_engine.last_stats.batched == 4
+    for mine, theirs in zip(batch_results, pool_results):
+        assert canonical(mine.to_dict()) == canonical(theirs.to_dict())
+
+
+@requires_numpy
+def test_engine_auto_respects_calibration():
+    specs = [_spec(load) for load in (0.02, 0.04, 0.06, 0.08)]
+    trivial = ExperimentEngine(
+        cache=None, executor="auto", calibration=_StubCalibration(0.001)
+    )
+    trivial.run(specs)
+    assert trivial.last_stats.batched == 0
+    costly = ExperimentEngine(
+        cache=None, executor="auto", calibration=_StubCalibration(0.5)
+    )
+    costly.run(specs)
+    assert costly.last_stats.batched == len(specs)
+
+
+def test_engine_rejects_unknown_executor():
+    with pytest.raises(ValueError):
+        ExperimentEngine(cache=None, executor="vector")
+
+
+def test_numpy_missing_paths(monkeypatch):
+    """Without NumPy: ``batch`` raises a clear install hint, ``auto``
+    silently falls back to the scalar path with identical results."""
+    monkeypatch.setattr(batch_mod, "np", None)
+    assert not batch_mod.numpy_available()
+    with pytest.raises(BatchUnavailableError, match="pip install numpy"):
+        batch_mod.require_numpy()
+
+    specs = [_spec(load) for load in (0.02, 0.05, 0.08)]
+    with pytest.raises(BatchUnavailableError):
+        ExperimentEngine(cache=None, executor="batch").run(specs)
+
+    auto = ExperimentEngine(cache=None, executor="auto")
+    fallback = auto.run(specs)
+    assert auto.last_stats.batched == 0
+    assert len(fallback) == len(specs)
+
+
+def test_default_engine_reads_executor_env(monkeypatch):
+    from repro.engine import EXECUTOR_ENV, default_engine
+
+    monkeypatch.setenv(EXECUTOR_ENV, "auto")
+    assert default_engine().executor == "auto"
+    monkeypatch.setenv(EXECUTOR_ENV, "bogus")
+    assert default_engine().executor == "pool"
+    monkeypatch.delenv(EXECUTOR_ENV)
+    assert default_engine().executor == "pool"
