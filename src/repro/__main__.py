@@ -100,6 +100,7 @@ from .analysis import format_table
 from .engine import (
     EXECUTOR_ENV,
     EXECUTORS,
+    ROUTING_BUILDERS,
     ExperimentEngine,
     QueueClient,
     QueueWorker,
@@ -128,7 +129,17 @@ from .traffic import SyntheticSource, workload_names
 
 _log = get_logger("cli")
 
-COMMANDS = ("info", "sweep", "compare", "workloads", "cache", "serve", "work", "perf")
+COMMANDS = (
+    "info",
+    "sweep",
+    "compare",
+    "adaptive",
+    "workloads",
+    "cache",
+    "serve",
+    "work",
+    "perf",
+)
 
 
 def parse_loads(text: str) -> list[float]:
@@ -242,6 +253,7 @@ def _synthetic_grid(
                 args.loads,
                 config=config,
                 packet_flits=args.packet_flits,
+                routing=getattr(args, "routing", "default"),
                 seed=args.seed,
                 warmup=args.warmup,
                 measure=args.measure,
@@ -479,6 +491,13 @@ def _add_sim_options(parser: argparse.ArgumentParser) -> None:
         action="store_true",
         help="enable SMART links (H=9)",
     )
+    parser.add_argument(
+        "--routing",
+        default="default",
+        choices=sorted(ROUTING_BUILDERS),
+        help="routing scheme (default: per-topology paper default; "
+        "ugal-l/ugal-g/deflect/xy-adapt read live congestion state)",
+    )
     parser.add_argument("--packet-flits", type=int, default=6)
     parser.add_argument("--seed", type=int, default=1)
     parser.add_argument("--warmup", type=int, default=300)
@@ -541,6 +560,51 @@ def build_parser() -> argparse.ArgumentParser:
     )
     _add_sim_options(compare)
     _add_engine_options(compare)
+
+    adaptive = sub.add_parser(
+        "adaptive",
+        help="Fig 20-style adaptive-routing study (routing x traffic x load)",
+    )
+    adaptive.add_argument(
+        "networks",
+        nargs="*",
+        default=["sn200", "cm4"],
+        help="catalog symbols (default: sn200 cm4)",
+    )
+    adaptive.add_argument(
+        "--routings",
+        default="default,valiant,ugal-l,deflect",
+        help="comma list of routing names (default: "
+        "default,valiant,ugal-l,deflect)",
+    )
+    adaptive.add_argument(
+        "--traffic",
+        default="ADV1,burst:ADV1:64+192",
+        help="comma list of traffic tokens — pattern acronyms or "
+        "burst:/hotspot:/transient: variants (default: ADV1 steady + bursty)",
+    )
+    adaptive.add_argument(
+        "--loads",
+        type=parse_loads,
+        default=[0.02, 0.06, 0.10, 0.14, 0.18, 0.22],
+        help="comma list or start:stop:step range (flits/node/cycle)",
+    )
+    adaptive.add_argument("--seed", type=int, default=1)
+    adaptive.add_argument("--warmup", type=int, default=300)
+    adaptive.add_argument("--measure", type=int, default=800)
+    adaptive.add_argument("--drain", type=int, default=1500)
+    adaptive.add_argument(
+        "--no-stop",
+        action="store_true",
+        help="simulate every load, even past saturation",
+    )
+    adaptive.add_argument(
+        "--json",
+        dest="json_path",
+        default=None,
+        help="also write all curves + engine stats as JSON",
+    )
+    _add_engine_options(adaptive)
 
     workloads = sub.add_parser(
         "workloads",
@@ -810,6 +874,7 @@ def cmd_sweep(args: argparse.Namespace) -> int:
                 args.loads,
                 config=config,
                 packet_flits=args.packet_flits,
+                routing=args.routing,
                 seed=args.seed,
                 warmup=args.warmup,
                 measure=args.measure,
@@ -964,6 +1029,43 @@ def _wait_for_queue(args: argparse.Namespace, client: QueueClient) -> dict:
     return status
 
 
+def cmd_adaptive(args: argparse.Namespace) -> int:
+    from .analysis import adaptive_study
+
+    if args.shard is not None:
+        print("error: adaptive does not support --shard", file=sys.stderr)
+        return 2
+    routings = [r for r in args.routings.split(",") if r]
+    traffic = [t for t in args.traffic.split(",") if t]
+    with _build_engine(args) as engine:
+        study = adaptive_study(
+            engine,
+            args.networks,
+            routings,
+            traffic,
+            args.loads,
+            seed=args.seed,
+            warmup=args.warmup,
+            measure=args.measure,
+            drain=args.drain,
+            stop_after_saturation=not args.no_stop,
+        )
+        stats = engine.total_stats
+        _save_calibration(engine)
+    print(study.format_table())
+    print(
+        f"  engine: {stats.cache_hits} cached, "
+        f"{stats.executed} simulated, {stats.workers} workers\n"
+    )
+    _print_stage_seconds(stats)
+    if args.json_path:
+        payload = {"study": study.to_dict(), "engine": stats.to_dict()}
+        with open(args.json_path, "w", encoding="utf-8") as handle:
+            json.dump(payload, handle, indent=2, sort_keys=True)
+        print(f"  wrote {args.json_path}")
+    return 0
+
+
 def cmd_compare(args: argparse.Namespace) -> int:
     config = _build_config(args)
     if args.model and args.shard is not None:
@@ -997,6 +1099,7 @@ def cmd_compare(args: argparse.Namespace) -> int:
                 args.loads,
                 config=config,
                 packet_flits=args.packet_flits,
+                routing=args.routing,
                 seed=args.seed,
                 warmup=args.warmup,
                 measure=args.measure,
@@ -1432,6 +1535,7 @@ def main(argv: list[str]) -> int:
         "info": cmd_info,
         "sweep": cmd_sweep,
         "compare": cmd_compare,
+        "adaptive": cmd_adaptive,
         "workloads": cmd_workloads,
         "cache": cmd_cache,
         "serve": cmd_serve,

@@ -1,5 +1,6 @@
 """Analysis harness: sweeps, workload campaigns, large-N models, metrics."""
 
+from .adaptive import AdaptiveStudyResult, adaptive_study
 from .largescale import LargeScaleModel, model_curves
 from .metrics import format_table, geometric_mean, relative_improvement
 from .resilience import ResilienceReport, degrade, resilience_curve
@@ -13,6 +14,8 @@ from .workloads import (
 )
 
 __all__ = [
+    "AdaptiveStudyResult",
+    "adaptive_study",
     "SweepPoint",
     "SweepResult",
     "sweep_loads",

@@ -73,14 +73,20 @@ from .campaign import (
     run_compare,
     run_sweep,
     shard_specs,
+    traffic_for_token,
     workload_compare,
 )
 from .queue import JobQueue, QueueClient, QueueJob, jobs_for_specs
 from .runner import EXECUTOR_ENV, EXECUTORS, ExperimentEngine, RunStats, default_engine
 from .spec import (
+    LIVE_SPEC_VERSIONS,
+    ROUTING_BUILDERS,
     SPEC_VERSION,
+    BurstTraffic,
     ExperimentSpec,
+    HotspotTraffic,
     SyntheticTraffic,
+    TransientTraffic,
     WorkloadTraffic,
     build_routing,
     iter_spec_keys,
@@ -145,10 +151,16 @@ __all__ = [
     "SCHEMA_VERSION",
     "SHARD_BALANCE_MODES",
     "SPEC_VERSION",
+    "LIVE_SPEC_VERSIONS",
+    "ROUTING_BUILDERS",
     "TOKEN_ENV",
     "SyntheticTraffic",
+    "BurstTraffic",
+    "HotspotTraffic",
+    "TransientTraffic",
     "WorkloadTraffic",
     "traffic_from_dict",
+    "traffic_for_token",
     "default_engine",
     "default_cache_dir",
     "open_backend",

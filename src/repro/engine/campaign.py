@@ -43,10 +43,15 @@ from typing import Mapping, Sequence
 from ..obs import CostCalibration
 from ..sim import SimConfig, SimResult
 from ..topos.base import Topology
+from ..traffic import PATTERNS
 from .runner import ExperimentEngine
 from .spec import (
+    BurstTraffic,
     ExperimentSpec,
+    HotspotTraffic,
     SyntheticTraffic,
+    TransientTraffic,
+    TrafficSpec,
     WorkloadTraffic,
     iter_spec_keys,
     predicted_cost,
@@ -234,6 +239,98 @@ def _resolve_entry(
     return topology_token(topology), topology
 
 
+#: Defaults for the non-stationary traffic token grammar (below).
+DEFAULT_BURST_PHASES = (64, 192)
+DEFAULT_HOTSPOT_FRACTION = 0.25
+DEFAULT_HOTSPOT_COUNT = 4
+DEFAULT_TRANSIENT_PERIOD = 256
+
+
+def _spread_hotspots(num_nodes: int, count: int) -> tuple[int, ...]:
+    """``count`` hotspot nodes spread evenly across the node space, so
+    the token form names the same deterministic set on every host."""
+    count = max(1, min(count, num_nodes))
+    return tuple(sorted({(i * num_nodes) // count for i in range(count)}))
+
+
+def traffic_for_token(
+    token: str, load: float, num_nodes: int
+) -> TrafficSpec:
+    """Parse a CLI traffic token into a tagged-union traffic source.
+
+    Grammar (everything after the pattern acronym is optional)::
+
+        RND                         plain stationary pattern
+        burst:ADV1[:ON+OFF[:OFFLOAD]]   on/off phases (cycles), mean load
+        hotspot:RND[:FRAC[:COUNT]]      FRAC of traffic to COUNT hotspots
+        transient:ADV1+ADV2[:PERIOD]    pattern swap every PERIOD cycles
+
+    ``load`` is always the mean offered load in flits/node/cycle;
+    ``num_nodes`` places the deterministic hotspot set.
+    """
+    kind, _, rest = token.partition(":")
+    try:
+        if kind == "burst":
+            pattern, _, tail = rest.partition(":")
+            on, off = DEFAULT_BURST_PHASES
+            off_load = 0.0
+            if tail:
+                phases, _, extra = tail.partition(":")
+                on_text, _, off_text = phases.partition("+")
+                on, off = int(on_text), int(off_text)
+                if extra:
+                    off_load = float(extra)
+            _require_pattern(pattern, token)
+            return BurstTraffic(
+                pattern, load, on_cycles=on, off_cycles=off, off_load=off_load
+            )
+        if kind == "hotspot":
+            pattern, _, tail = rest.partition(":")
+            fraction = DEFAULT_HOTSPOT_FRACTION
+            count = DEFAULT_HOTSPOT_COUNT
+            if tail:
+                frac_text, _, count_text = tail.partition(":")
+                fraction = float(frac_text)
+                if count_text:
+                    count = int(count_text)
+            _require_pattern(pattern, token)
+            return HotspotTraffic(
+                pattern,
+                load,
+                hotspots=_spread_hotspots(num_nodes, count),
+                fraction=fraction,
+            )
+        if kind == "transient":
+            names, _, period_text = rest.partition(":")
+            patterns = tuple(p for p in names.split("+") if p)
+            period = int(period_text) if period_text else DEFAULT_TRANSIENT_PERIOD
+            for pattern in patterns:
+                _require_pattern(pattern, token)
+            if not patterns:
+                raise ValueError("needs at least one pattern")
+            return TransientTraffic(patterns, load, period=period)
+    except ValueError as exc:
+        if str(exc).startswith("bad traffic token"):
+            raise  # _require_pattern already formatted the full message
+        raise ValueError(
+            f"bad traffic token {token!r}: {exc} "
+            "(grammar: PATTERN | burst:PATTERN[:ON+OFF[:OFFLOAD]] | "
+            "hotspot:PATTERN[:FRAC[:COUNT]] | transient:PAT1+PAT2[:PERIOD])"
+        ) from exc
+    _require_pattern(token, token)
+    return SyntheticTraffic(token, load)
+
+
+def _require_pattern(pattern: str, token: str) -> None:
+    if pattern not in PATTERNS:
+        raise ValueError(
+            f"bad traffic token {token!r}: unknown pattern {pattern!r} "
+            f"(options: {', '.join(sorted(PATTERNS))}; variants: "
+            "burst:PATTERN[:ON+OFF[:OFFLOAD]], hotspot:PATTERN[:FRAC[:COUNT]], "
+            "transient:PAT1+PAT2[:PERIOD])"
+        )
+
+
 def _spec_for(
     token: str,
     pattern: str,
@@ -247,10 +344,11 @@ def _spec_for(
     measure: int,
     drain: int,
     layout: str | None,
+    num_nodes: int,
 ) -> ExperimentSpec:
     return ExperimentSpec(
         topology=token,
-        source=SyntheticTraffic(pattern, load),
+        source=traffic_for_token(pattern, load, num_nodes),
         packet_flits=packet_flits,
         config=config if config is not None else SimConfig(),
         routing=routing,
@@ -296,6 +394,7 @@ def build_sweep_specs(
             measure=measure,
             drain=drain,
             layout=None,
+            num_nodes=topology.num_nodes,
         )
         for load in sorted(loads)
     ]
@@ -435,6 +534,7 @@ def run_compare(
         topo_map[token] = topology
         per_label[label] = {
             "token": token,
+            "nodes": topology.num_nodes,
             "config": (configs or {}).get(label, config),
             "results": [],
             "next": 0,
@@ -447,7 +547,12 @@ def run_compare(
         for label, info in per_label.items():
             for load in loads:
                 spec = _spec_for(
-                    info["token"], pattern, load, config=info["config"], **spec_kw
+                    info["token"],
+                    pattern,
+                    load,
+                    config=info["config"],
+                    num_nodes=info["nodes"],
+                    **spec_kw,
                 )
                 grid.append((label, load, spec))
         owned = set(
@@ -507,7 +612,12 @@ def run_compare(
                 batch.append((label, load))
                 specs.append(
                     _spec_for(
-                        info["token"], pattern, load, config=info["config"], **spec_kw
+                        info["token"],
+                        pattern,
+                        load,
+                        config=info["config"],
+                        num_nodes=info["nodes"],
+                        **spec_kw,
                     )
                 )
             info["next"] += chunk

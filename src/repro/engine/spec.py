@@ -37,16 +37,25 @@ from typing import ClassVar, Iterable, Iterator, Union
 
 from ..obs.calibration import COST_BASE_ACTIVITY, CostCalibration
 from ..routing import (
+    DeflectionRouting,
     DimensionOrderRouting,
     RoutingAlgorithm,
     StaticMinimalRouting,
     UGALRouting,
     ValiantRouting,
+    XYAdaptiveRouting,
     default_routing,
 )
 from ..sim import NoCSimulator, SimConfig, SimResult
 from ..topos.base import Topology
-from ..traffic import WORKLOADS, SyntheticSource, WorkloadSource
+from ..traffic import (
+    WORKLOADS,
+    BurstSource,
+    HotspotSource,
+    SyntheticSource,
+    TransientSource,
+    WorkloadSource,
+)
 
 #: Bump when the *meaning* of a spec changes (e.g. a simulator fix that
 #: alters results for identical inputs) so stale cache entries miss.
@@ -56,7 +65,31 @@ from ..traffic import WORKLOADS, SyntheticSource, WorkloadSource
 #: replaces the top-level ``pattern``/``load`` fields) so trace-driven
 #: ``WorkloadSource`` experiments flow through the engine; synthetic
 #: results are unchanged, but every serialized spec — and hash — moved.
-SPEC_VERSION = 3
+#: Version 4: non-stationary traffic kinds (burst/hotspot/transient) and
+#: the adaptive routing names (``deflect``, ``xy-adapt``) joined the
+#: union.  Serialization is *minimum-required-version*: a spec writes
+#: the oldest version that can express it (see
+#: :meth:`ExperimentSpec.min_spec_version`), so every version-3-shaped
+#: spec keeps its exact version-3 hash and cache entry — pinned by
+#: ``tests/golden/spec_hashes.json``.
+SPEC_VERSION = 4
+
+#: The last spec version before the version-4 additions; specs using
+#: only pre-4 features serialize as this version so their hashes and
+#: cache entries survive the bump.
+_LEGACY_SPEC_VERSION = 3
+
+#: Spec versions the current code still *writes* (and therefore still
+#: looks up): minimum-required-version serialization keeps version-3
+#: entries reachable, so ``cache gc``/``stats`` must not count them as
+#: reclaimable (see :func:`~repro.engine.store.base.entry_is_unreachable`).
+LIVE_SPEC_VERSIONS = frozenset({_LEGACY_SPEC_VERSION, SPEC_VERSION})
+
+#: Routing names that already existed at version 3.  A spec naming any
+#: other routing needs version 4.
+LEGACY_ROUTINGS = frozenset(
+    {"default", "minimal", "dor", "valiant", "ugal-l", "ugal-g"}
+)
 
 #: Topology tokens carrying a structural fingerprint instead of a catalog
 #: symbol.  Fingerprinted topologies cannot be rebuilt from the token
@@ -72,6 +105,8 @@ ROUTING_BUILDERS = {
     "valiant": lambda topo: ValiantRouting(topo),
     "ugal-l": lambda topo: UGALRouting(topo, global_info=False),
     "ugal-g": lambda topo: UGALRouting(topo, global_info=True),
+    "deflect": lambda topo: DeflectionRouting(topo),
+    "xy-adapt": lambda topo: XYAdaptiveRouting(topo),
 }
 
 
@@ -139,6 +174,7 @@ class SyntheticTraffic:
     """Synthetic-pattern traffic: a pattern acronym at one offered load."""
 
     kind: ClassVar[str] = "synthetic"
+    min_spec_version: ClassVar[int] = 3
 
     pattern: str
     load: float
@@ -147,12 +183,173 @@ class SyntheticTraffic:
     def label(self) -> str:
         return f"{self.pattern} load={self.load:g}"
 
+    @property
+    def mean_load(self) -> float:
+        return self.load
+
     def to_dict(self) -> dict:
         return {"kind": self.kind, "pattern": self.pattern, "load": self.load}
 
     def build(self, topology: Topology, packet_flits: int, seed: int):
         return SyntheticSource(
             topology, self.pattern, self.load, packet_flits, seed=seed
+        )
+
+
+@dataclass(frozen=True)
+class BurstTraffic:
+    """Bursty on/off traffic: ``load`` is the *mean* offered load, so a
+    burst curve shares its x-axis with the steady curve it stresses; the
+    on-phase rate is scaled up by the duty cycle (see
+    :class:`~repro.traffic.nonstationary.BurstSource`)."""
+
+    kind: ClassVar[str] = "burst"
+    min_spec_version: ClassVar[int] = 4
+
+    pattern: str
+    load: float
+    on_cycles: int = 64
+    off_cycles: int = 192
+    off_load: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.on_cycles < 1 or self.off_cycles < 0:
+            raise ValueError("need on_cycles >= 1 and off_cycles >= 0")
+        if self.off_load < 0:
+            raise ValueError("off_load must be non-negative")
+
+    @property
+    def label(self) -> str:
+        return (
+            f"burst:{self.pattern}:{self.on_cycles}+{self.off_cycles} "
+            f"load={self.load:g}"
+        )
+
+    @property
+    def mean_load(self) -> float:
+        return self.load
+
+    def to_dict(self) -> dict:
+        return {
+            "kind": self.kind,
+            "pattern": self.pattern,
+            "load": self.load,
+            "on_cycles": self.on_cycles,
+            "off_cycles": self.off_cycles,
+            "off_load": self.off_load,
+        }
+
+    def build(self, topology: Topology, packet_flits: int, seed: int):
+        return BurstSource(
+            topology,
+            self.pattern,
+            self.load,
+            packet_flits,
+            on_cycles=self.on_cycles,
+            off_cycles=self.off_cycles,
+            off_load=self.off_load,
+            seed=seed,
+        )
+
+
+@dataclass(frozen=True)
+class HotspotTraffic:
+    """Hotspot-concentrated traffic: a ``fraction`` of the destination
+    mass goes to a fixed hotspot node set, the rest to ``pattern``."""
+
+    kind: ClassVar[str] = "hotspot"
+    min_spec_version: ClassVar[int] = 4
+
+    pattern: str
+    load: float
+    hotspots: tuple[int, ...] = (0,)
+    fraction: float = 0.25
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "hotspots", tuple(self.hotspots))
+        if not self.hotspots:
+            raise ValueError("need at least one hotspot node")
+        if not 0.0 <= self.fraction <= 1.0:
+            raise ValueError("fraction must be within [0, 1]")
+
+    @property
+    def label(self) -> str:
+        return (
+            f"hotspot:{self.pattern}:{self.fraction:g}x{len(self.hotspots)} "
+            f"load={self.load:g}"
+        )
+
+    @property
+    def mean_load(self) -> float:
+        return self.load
+
+    def to_dict(self) -> dict:
+        return {
+            "kind": self.kind,
+            "pattern": self.pattern,
+            "load": self.load,
+            "hotspots": list(self.hotspots),
+            "fraction": self.fraction,
+        }
+
+    def build(self, topology: Topology, packet_flits: int, seed: int):
+        return HotspotSource(
+            topology,
+            self.pattern,
+            self.load,
+            packet_flits,
+            hotspots=self.hotspots,
+            fraction=self.fraction,
+            seed=seed,
+        )
+
+
+@dataclass(frozen=True)
+class TransientTraffic:
+    """Transient permutation swaps: ``patterns[k]`` is active for cycles
+    ``[k*period, (k+1)*period)``, cycling through the tuple."""
+
+    kind: ClassVar[str] = "transient"
+    min_spec_version: ClassVar[int] = 4
+
+    patterns: tuple[str, ...]
+    load: float
+    period: int = 256
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "patterns", tuple(self.patterns))
+        if not self.patterns:
+            raise ValueError("need at least one pattern")
+        if self.period < 1:
+            raise ValueError("period must be >= 1")
+
+    @property
+    def label(self) -> str:
+        return (
+            f"transient:{'+'.join(self.patterns)}:{self.period} "
+            f"load={self.load:g}"
+        )
+
+    @property
+    def mean_load(self) -> float:
+        return self.load
+
+    def to_dict(self) -> dict:
+        return {
+            "kind": self.kind,
+            "patterns": list(self.patterns),
+            "load": self.load,
+            "period": self.period,
+        }
+
+    def build(self, topology: Topology, packet_flits: int, seed: int):
+        return TransientSource(
+            topology,
+            self.patterns,
+            self.load,
+            packet_flits,
+            period=self.period,
+            seed=seed,
         )
 
 
@@ -166,6 +363,7 @@ class WorkloadTraffic:
     """
 
     kind: ClassVar[str] = "workload"
+    min_spec_version: ClassVar[int] = 3
 
     bench: str
     intensity_scale: float = 1.0
@@ -199,7 +397,9 @@ class WorkloadTraffic:
         )
 
 
-TrafficSpec = Union[SyntheticTraffic, WorkloadTraffic]
+TrafficSpec = Union[
+    SyntheticTraffic, BurstTraffic, HotspotTraffic, TransientTraffic, WorkloadTraffic
+]
 
 
 def traffic_from_dict(payload: dict) -> TrafficSpec:
@@ -207,6 +407,27 @@ def traffic_from_dict(payload: dict) -> TrafficSpec:
     kind = payload.get("kind")
     if kind == SyntheticTraffic.kind:
         return SyntheticTraffic(pattern=payload["pattern"], load=payload["load"])
+    if kind == BurstTraffic.kind:
+        return BurstTraffic(
+            pattern=payload["pattern"],
+            load=payload["load"],
+            on_cycles=payload.get("on_cycles", 64),
+            off_cycles=payload.get("off_cycles", 192),
+            off_load=payload.get("off_load", 0.0),
+        )
+    if kind == HotspotTraffic.kind:
+        return HotspotTraffic(
+            pattern=payload["pattern"],
+            load=payload["load"],
+            hotspots=tuple(payload.get("hotspots", (0,))),
+            fraction=payload.get("fraction", 0.25),
+        )
+    if kind == TransientTraffic.kind:
+        return TransientTraffic(
+            patterns=tuple(payload["patterns"]),
+            load=payload["load"],
+            period=payload.get("period", 256),
+        )
     if kind == WorkloadTraffic.kind:
         # ``params`` is derived from WORKLOADS at serialization time, never
         # read back — the local table is the single source of truth.
@@ -265,6 +486,20 @@ class ExperimentSpec:
             **kw,
         )
 
+    def min_spec_version(self) -> int:
+        """The oldest :data:`SPEC_VERSION` that can express this spec.
+
+        Serialization (and therefore :meth:`content_hash`) writes this
+        version, not the current one: a spec using only version-3
+        features keeps the exact bytes — and cache entries — it had
+        before the version-4 traffic/routing additions.  Only specs
+        naming a new traffic kind or routing move to 4.
+        """
+        version = getattr(type(self.source), "min_spec_version", SPEC_VERSION)
+        if self.routing not in LEGACY_ROUTINGS:
+            version = max(version, 4)
+        return version
+
     def to_dict(self) -> dict:
         return {
             "topology": self.topology,
@@ -277,7 +512,7 @@ class ExperimentSpec:
             "measure": self.measure,
             "drain": self.drain,
             "layout": self.layout,
-            "spec_version": SPEC_VERSION,
+            "spec_version": self.min_spec_version(),
         }
 
     @classmethod
@@ -368,8 +603,9 @@ def spec_load(spec: ExperimentSpec) -> float:
     buckets, factored out so both sides agree.
     """
     source = spec.source
-    if isinstance(source, SyntheticTraffic):
-        return source.load
+    mean = getattr(source, "mean_load", None)
+    if mean is not None:  # the whole synthetic family, bursty or not
+        return mean
     return WORKLOADS[source.bench].intensity * source.intensity_scale / 100.0
 
 

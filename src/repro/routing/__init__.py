@@ -1,6 +1,7 @@
 """Routing: minimal tables, deadlock-free VC schedules, adaptive UGAL."""
 
 from .algorithms import (
+    DeflectionRouting,
     DimensionOrderRouting,
     QueueOracle,
     Route,
@@ -22,6 +23,7 @@ __all__ = [
     "ValiantRouting",
     "UGALRouting",
     "XYAdaptiveRouting",
+    "DeflectionRouting",
     "QueueOracle",
     "ZeroQueues",
 ]
@@ -59,4 +61,5 @@ def _is_wrap(topology, i: int, j: int) -> bool:
         return False
     xi, yi = topology.position_of(i)
     xj, yj = topology.position_of(j)
-    return abs(xi - xj) in (0, topology.cols - 1) and abs(yi - yj) in (0, topology.rows - 1)
+    dx, dy = abs(xi - xj), abs(yi - yj)
+    return dx in (0, topology.cols - 1) and dy in (0, topology.rows - 1)

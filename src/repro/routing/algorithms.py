@@ -15,6 +15,17 @@ deadlock-avoidance schemes directly:
 * **UGAL-L / UGAL-G** (section 6): per-packet choice between the minimal
   path and a Valiant detour through a random intermediate router, using
   local or global queue estimates.
+* **Deflection** (BLESS/CHIPPER-family, adapted to the frozen-route
+  model): when the minimal route's first hop is congested, misroute to
+  the least-loaded neighbor and continue minimally from there.
+
+Adaptive schemes observe congestion through a :class:`QueueOracle`.
+Attaching the routing to a :class:`~repro.sim.NoCSimulator` installs
+the simulator itself as the oracle (live credit/occupancy state at
+injection time); without one, the default :class:`ZeroQueues` oracle
+makes every adaptive scheme silently degenerate to minimal routing —
+the first route computed that way logs a one-line warning on
+``repro.routing``.
 """
 
 from __future__ import annotations
@@ -23,9 +34,12 @@ import random
 from abc import ABC, abstractmethod
 from dataclasses import dataclass
 
+from ..obs.logs import get_logger
 from ..topos.base import Topology
 from ..topos.grids import Torus2D, _GridTopology
 from .paths import MinimalPaths
+
+_log = get_logger("repro.routing")
 
 
 @dataclass(frozen=True)
@@ -76,6 +90,22 @@ class RoutingAlgorithm(ABC):
     def _ascending_vcs(self, path: tuple[int, ...]) -> tuple[int, ...]:
         return tuple(min(h, self.num_vcs - 1) for h in range(len(path) - 1))
 
+    def _warn_if_zero_oracle(self) -> None:
+        """One-line warning the first time an adaptive scheme routes with
+        the degenerate :class:`ZeroQueues` oracle (exact type only —
+        custom oracles that *subclass* it are deliberate and stay quiet).
+        """
+        if getattr(self, "_zero_oracle_warned", False):
+            return
+        if type(getattr(self, "oracle", None)) is ZeroQueues:
+            self._zero_oracle_warned = True
+            _log.warning(
+                "%s routing has no congestion feedback (ZeroQueues oracle) "
+                "and degenerates to minimal routing; attach it to a "
+                "NoCSimulator or set a QueueOracle for live state",
+                self.name,
+            )
+
 
 class StaticMinimalRouting(RoutingAlgorithm):
     """The paper's default: deterministic shortest paths, hop-index VCs.
@@ -85,7 +115,9 @@ class StaticMinimalRouting(RoutingAlgorithm):
 
     name = "min"
 
-    def __init__(self, topology: Topology, num_vcs: int = 2, enforce_vc_cover: bool = True):
+    def __init__(
+        self, topology: Topology, num_vcs: int = 2, enforce_vc_cover: bool = True
+    ):
         super().__init__(topology, num_vcs)
         if enforce_vc_cover and topology.diameter > num_vcs:
             raise ValueError(
@@ -156,7 +188,9 @@ class DimensionOrderRouting(RoutingAlgorithm):
         self._route_cache[(src, dst)] = route
         return route
 
-    def _vc_schedule(self, path: list[int], grid: _GridTopology, dx: int, sy: int) -> list[int]:
+    def _vc_schedule(
+        self, path: list[int], grid: _GridTopology, dx: int, sy: int
+    ) -> list[int]:
         """Dateline VCs: start on VC0, move to VC1 at the wrap link of the
         current dimension's ring; reset when turning from X into Y (the two
         rings are independent under XY ordering)."""
@@ -233,6 +267,7 @@ class UGALRouting(RoutingAlgorithm):
         return hops + queued
 
     def route(self, src: int, dst: int, packet_id: int = 0) -> Route:
+        self._warn_if_zero_oracle()
         minimal_path = self.minimal.path(src, dst)
         if src == dst:
             return Route(minimal_path, ())
@@ -268,6 +303,7 @@ class XYAdaptiveRouting(RoutingAlgorithm):
         self.oracle = oracle if oracle is not None else ZeroQueues()
 
     def route(self, src: int, dst: int, packet_id: int = 0) -> Route:
+        self._warn_if_zero_oracle()
         grid: _GridTopology = self.topology  # type: ignore[assignment]
         sx, sy = grid.position_of(src)
         dx, dy = grid.position_of(dst)
@@ -282,3 +318,59 @@ class XYAdaptiveRouting(RoutingAlgorithm):
         cost_col = self.oracle.output_queue(src, col_first[1])
         path = row_first if cost_row <= cost_col else col_first
         return Route(path, self._ascending_vcs(path))
+
+
+class DeflectionRouting(RoutingAlgorithm):
+    """Deflection routing adapted to the frozen-route model.
+
+    Per-hop deflection (BLESS, CHIPPER) re-arbitrates a flit at every
+    router; this simulator freezes the full route at injection, so the
+    deflection decision happens once, at the source: when the minimal
+    route's first hop is queued past ``threshold``, the packet is
+    misrouted to the least-loaded neighbor and continues minimally from
+    there.  Deflection only ever *lengthens* a path — the flit keeps its
+    buffered, credit-flow-controlled route and is never dropped (pinned
+    by a conservation property test).
+
+    ``num_vcs`` defaults to ``diameter + 1`` so a one-hop deflection
+    always has an ascending VC schedule; candidates whose detour would
+    exceed the VC budget are skipped, falling back to minimal.
+    """
+
+    name = "deflect"
+
+    def __init__(
+        self,
+        topology: Topology,
+        num_vcs: int | None = None,
+        oracle: QueueOracle | None = None,
+        threshold: int = 0,
+    ):
+        super().__init__(topology, num_vcs or topology.diameter + 1)
+        if threshold < 0:
+            raise ValueError("threshold must be non-negative")
+        self.oracle = oracle if oracle is not None else ZeroQueues()
+        self.threshold = threshold
+
+    def route(self, src: int, dst: int, packet_id: int = 0) -> Route:
+        self._warn_if_zero_oracle()
+        minimal_path = self.minimal.path(src, dst)
+        if src == dst:
+            return Route(minimal_path, ())
+        first_queue = self.oracle.output_queue(src, minimal_path[1])
+        if first_queue <= self.threshold:
+            return Route(minimal_path, self._ascending_vcs(minimal_path))
+        best = minimal_path
+        # Hops break occupancy ties, neighbor index breaks hop ties —
+        # fully deterministic for a given oracle state.
+        best_key = (first_queue, len(minimal_path), minimal_path[1])
+        for neighbor in sorted(self.topology.router_neighbors(src)):
+            if neighbor == minimal_path[1]:
+                continue
+            candidate = (src,) + self.minimal.path(neighbor, dst)
+            if len(candidate) - 1 > self.num_vcs:
+                continue  # VC schedule must stay ascending
+            key = (self.oracle.output_queue(src, neighbor), len(candidate), neighbor)
+            if key < best_key:
+                best, best_key = candidate, key
+        return Route(best, self._ascending_vcs(best))

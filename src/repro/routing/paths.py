@@ -66,7 +66,9 @@ class MinimalPaths:
     def hop_count(self, src: int, dst: int) -> int:
         return len(self.path(src, dst)) - 1
 
-    def channel_loads(self, flows: dict[tuple[int, int], float]) -> dict[tuple[int, int], float]:
+    def channel_loads(
+        self, flows: dict[tuple[int, int], float]
+    ) -> dict[tuple[int, int], float]:
         """Expected flits/cycle per directed channel for given router flows.
 
         ``flows`` maps (src_router, dst_router) to offered flits/cycle.

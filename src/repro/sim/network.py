@@ -47,7 +47,7 @@ from collections import deque
 from dataclasses import dataclass, replace
 from functools import cached_property
 
-from ..routing import QueueOracle, RoutingAlgorithm, default_routing
+from ..routing import QueueOracle, RoutingAlgorithm, ZeroQueues, default_routing
 from ..topos.base import Topology
 from .config import SimConfig
 from .links import CreditLink, ElasticLink
@@ -283,9 +283,16 @@ class NoCSimulator(QueueOracle):
         self.rng = random.Random(seed)
         self.now = 0
         self._build()
-        # Adaptive algorithms observe live congestion through this simulator.
+        # Adaptive algorithms observe live congestion through this
+        # simulator: the default (degenerate) ZeroQueues oracle and any
+        # stale simulator left by a previous run are replaced with self,
+        # so route choice reads this run's credit/occupancy state at
+        # injection time.  A custom QueueOracle (anything else, including
+        # ZeroQueues subclasses) was attached deliberately and is kept.
         oracle = getattr(self.routing, "oracle", None)
-        if oracle is not None and not isinstance(oracle, NoCSimulator):
+        if oracle is not None and (
+            type(oracle) is ZeroQueues or isinstance(oracle, NoCSimulator)
+        ):
             self.routing.oracle = self
 
     # ------------------------------------------------------------------
@@ -405,6 +412,18 @@ class NoCSimulator(QueueOracle):
     # ------------------------------------------------------------------
 
     def output_queue(self, router: int, neighbor: int) -> int:
+        """Live congestion on the ``router -> neighbor`` channel.
+
+        ``_occupancy`` increments when a flit wins arbitration onto the
+        link and decrements when its credit returns (credit-flow links)
+        or when it drains into the staging buffer (elastic links) — so
+        for credit links this is exactly the downstream credit deficit
+        (flits in flight plus flits still buffered at the neighbor), and
+        for elastic links the flits occupying the link pipeline.  This
+        is the state adaptive algorithms read at injection time; it is
+        maintained unconditionally (cheap array bumps), so attaching an
+        adaptive routing never changes static-routing results.
+        """
         ordinal = self._occ_ordinal.get((router, neighbor))
         return 0 if ordinal is None else self._occupancy[ordinal]
 

@@ -61,6 +61,9 @@ _CATALOG: dict[str, tuple[Callable[[], Topology], int]] = {
     "sn1024": (_sn(8, 8, "sn_subgr"), 1024),
     # --- N = 54 (section 5.6, KNL-scale) -----------------------------------
     "sn54": (_sn(3, 3, "sn_subgr"), 54),
+    # q=3 with the paper's p=4 concentration: 72 nodes over the same
+    # 18-router MMS graph as sn54 — the CI-sized adaptive-study network.
+    "sn72": (_sn(3, 4, "sn_subgr"), 72),
     "t2d54": (lambda: Torus2D(6, 3, 3, name="t2d54"), 54),
     "cm54": (lambda: ConcentratedMesh(6, 3, 3, name="cm54"), 54),
     "fbf54": (lambda: FlattenedButterfly(6, 3, 3, name="fbf54"), 54),

@@ -1,5 +1,6 @@
 """Traffic: synthetic patterns and PARSEC/SPLASH-like workload models."""
 
+from .nonstationary import BurstSource, HotspotSource, TransientSource
 from .synthetic import PATTERNS, SyntheticSource, make_pattern
 from .workloads import WORKLOADS, WorkloadSource, WorkloadSpec, workload_names
 
@@ -7,6 +8,9 @@ __all__ = [
     "PATTERNS",
     "make_pattern",
     "SyntheticSource",
+    "BurstSource",
+    "HotspotSource",
+    "TransientSource",
     "WORKLOADS",
     "WorkloadSpec",
     "WorkloadSource",

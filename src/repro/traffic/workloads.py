@@ -106,7 +106,8 @@ class WorkloadSource:
     def rate(self) -> float:
         """Approximate offered flits/node/cycle (for reporting)."""
         spec = self.spec
-        mean_flits = spec.read_fraction * READ_FLITS + (1 - spec.read_fraction) * WRITE_FLITS
+        write_fraction = 1 - spec.read_fraction
+        mean_flits = spec.read_fraction * READ_FLITS + write_fraction * WRITE_FLITS
         return self.intensity_scale * spec.intensity / 100.0 * mean_flits
 
     def _phase(self, cycle: int) -> float:

@@ -16,7 +16,13 @@ import json
 import pytest
 from test_golden_digests import CONFIGS, MATRIX, case_id, digest, load_golden, run_case
 
-from repro.engine import ExperimentEngine, SyntheticTraffic
+from repro.engine import (
+    BurstTraffic,
+    ExperimentEngine,
+    HotspotTraffic,
+    SyntheticTraffic,
+    TransientTraffic,
+)
 from repro.engine.batching import (
     MIN_AUTO_LANES,
     batch_worthwhile,
@@ -131,18 +137,41 @@ def test_lane_rng_streams_are_isolated():
     assert canonical(alone.to_dict()) == canonical(together.to_dict())
 
 
-def _spec(load=0.05, seed=1, *, pattern="RND", config=None, routing="default"):
+def _spec(load=0.05, seed=1, *, pattern="RND", config=None, routing="default", source=None):
     return ExperimentSpec(
         topology="54",
         routing=routing,
         config=config or SimConfig(),
-        source=SyntheticTraffic(pattern=pattern, load=load),
+        source=source or SyntheticTraffic(pattern=pattern, load=load),
         packet_flits=6,
         seed=seed,
         warmup=50,
         measure=200,
         drain=300,
     )
+
+
+#: One spec per ineligible lane class added in SPEC_VERSION 4: every
+#: adaptive routing name and every non-stationary traffic kind.
+ADAPTIVE_ROUTINGS = ("valiant", "ugal-l", "ugal-g", "deflect")
+NONSTATIONARY_SOURCES = (
+    BurstTraffic(pattern="RND", load=0.05, on_cycles=16, off_cycles=48),
+    HotspotTraffic(pattern="RND", load=0.05, hotspots=(0, 13), fraction=0.3),
+    TransientTraffic(patterns=("ADV1", "ADV2"), load=0.05, period=64),
+)
+
+
+def _adaptive_specs():
+    """Mixed ineligible specs: adaptive routings + non-stationary traffic."""
+    specs = [
+        _spec(seed=10 + i, routing=routing)
+        for i, routing in enumerate(ADAPTIVE_ROUTINGS)
+    ]
+    specs += [
+        _spec(seed=20 + i, source=source)
+        for i, source in enumerate(NONSTATIONARY_SOURCES)
+    ]
+    return specs
 
 
 def test_grouping_separates_unbatchable_specs():
@@ -169,6 +198,29 @@ def test_grouping_splits_incompatible_shapes():
     groups, rest = group_batchable([("a", a), ("b", b)])
     assert not rest
     assert sorted(len(g) for g in groups) == [1, 1]
+
+
+def test_adaptive_and_nonstationary_specs_never_batch():
+    """Every SPEC_VERSION-4 lane class is ineligible for the lockstep
+    kernel: adaptive routings consult a live oracle mid-run and
+    non-stationary sources vary the injection schedule, neither of which
+    the batch tier models."""
+    for routing in (*ADAPTIVE_ROUTINGS, "xy-adapt"):
+        assert not batchable_routing(routing)
+        assert not spec_batchable(_spec(routing=routing))
+    for source in NONSTATIONARY_SOURCES:
+        assert not spec_batchable(_spec(source=source))
+
+
+def test_grouping_sends_adaptive_specs_to_rest():
+    """group_batchable puts every adaptive/non-stationary spec in the
+    scalar ``rest`` bucket and still groups the eligible neighbors."""
+    eligible = [_spec(load) for load in (0.02, 0.05, 0.08)]
+    ineligible = _adaptive_specs()
+    misses = [(f"k{i}", s) for i, s in enumerate([*ineligible, *eligible])]
+    groups, rest = group_batchable(misses)
+    assert [key for key, _ in rest] == [f"k{i}" for i in range(len(ineligible))]
+    assert len(groups) == 1 and len(groups[0]) == len(eligible)
 
 
 class _StubCalibration:
@@ -228,6 +280,35 @@ def test_engine_auto_respects_calibration():
     )
     costly.run(specs)
     assert costly.last_stats.batched == len(specs)
+
+
+@requires_numpy
+def test_engine_auto_routes_adaptive_specs_to_pool():
+    """``--executor auto`` silently sends adaptive/non-stationary specs
+    down the scalar pool path — nothing batched, no error, and the
+    results match a pure-pool run byte for byte."""
+    specs = _adaptive_specs()
+    auto_engine = ExperimentEngine(cache=None, executor="auto")
+    auto_results = auto_engine.run(specs)
+    assert auto_engine.last_stats.batched == 0
+    pool_results = ExperimentEngine(cache=None, executor="pool").run(specs)
+    for mine, theirs in zip(auto_results, pool_results):
+        assert canonical(mine.to_dict()) == canonical(theirs.to_dict())
+
+
+@requires_numpy
+def test_engine_batch_on_mixed_grid_batches_only_eligible_lanes():
+    """Explicit ``batch`` on a grid mixing eligible synthetic lanes with
+    adaptive/non-stationary ones batches exactly the eligible lanes and
+    the whole grid stays byte-identical to the pool executor."""
+    eligible = [_spec(load, seed) for load in (0.02, 0.06) for seed in (1, 2)]
+    specs = [*eligible, *_adaptive_specs()]
+    batch_engine = ExperimentEngine(cache=None, executor="batch")
+    batch_results = batch_engine.run(specs)
+    assert batch_engine.last_stats.batched == len(eligible)
+    pool_results = ExperimentEngine(cache=None, executor="pool").run(specs)
+    for mine, theirs in zip(batch_results, pool_results):
+        assert canonical(mine.to_dict()) == canonical(theirs.to_dict())
 
 
 def test_engine_rejects_unknown_executor():

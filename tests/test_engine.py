@@ -195,6 +195,121 @@ class TestCampaignParity:
         assert curves["sn54"].network == "sn54"
 
 
+class TestTrafficTokens:
+    """The CLI traffic-token grammar -> tagged-union traffic specs."""
+
+    def test_plain_pattern(self):
+        from repro.engine import SyntheticTraffic, traffic_for_token
+
+        spec = traffic_for_token("ADV1", 0.1, 54)
+        assert spec == SyntheticTraffic("ADV1", 0.1)
+        assert spec.mean_load == 0.1
+
+    def test_burst_forms(self):
+        from repro.engine import BurstTraffic, traffic_for_token
+
+        assert traffic_for_token("burst:RND", 0.1, 54) == BurstTraffic(
+            "RND", 0.1, on_cycles=64, off_cycles=192
+        )
+        assert traffic_for_token("burst:ADV1:16+48", 0.1, 54) == BurstTraffic(
+            "ADV1", 0.1, on_cycles=16, off_cycles=48
+        )
+        full = traffic_for_token("burst:ADV1:16+48:0.02", 0.1, 54)
+        assert full == BurstTraffic(
+            "ADV1", 0.1, on_cycles=16, off_cycles=48, off_load=0.02
+        )
+        assert full.mean_load == 0.1
+
+    def test_hotspot_forms(self):
+        from repro.engine import HotspotTraffic, traffic_for_token
+
+        default = traffic_for_token("hotspot:RND", 0.1, 54)
+        assert isinstance(default, HotspotTraffic)
+        assert default.fraction == 0.25
+        assert len(default.hotspots) == 4
+        custom = traffic_for_token("hotspot:RND:0.4:3", 0.1, 54)
+        assert custom.fraction == 0.4
+        # Deterministic evenly-spread hotspot set for 54 nodes, count 3.
+        assert custom.hotspots == (0, 18, 36)
+        assert all(0 <= node < 54 for node in custom.hotspots)
+
+    def test_transient_forms(self):
+        from repro.engine import TransientTraffic, traffic_for_token
+
+        default = traffic_for_token("transient:ADV1+ADV2", 0.1, 54)
+        assert default == TransientTraffic(("ADV1", "ADV2"), 0.1, period=256)
+        short = traffic_for_token("transient:ADV1+ADV2:64", 0.1, 54)
+        assert short.period == 64
+
+    @pytest.mark.parametrize(
+        "token",
+        [
+            "NOPE",
+            "burst:NOPE",
+            "burst:RND:banana",
+            "burst:RND:16",
+            "hotspot:NOPE",
+            "hotspot:RND:lots",
+            "transient:ADV1+NOPE",
+            "transient:",
+            "transient:ADV1:nope",
+        ],
+    )
+    def test_bad_tokens_raise_with_grammar(self, token):
+        from repro.engine import traffic_for_token
+
+        with pytest.raises(ValueError, match="bad traffic token"):
+            traffic_for_token(token, 0.1, 54)
+
+    def test_token_specs_round_trip_and_hash(self):
+        from repro.engine import traffic_from_dict, traffic_for_token
+
+        for token in ("burst:ADV1:16+48", "hotspot:RND:0.3:2", "transient:ADV1+ADV2:32"):
+            spec = traffic_for_token(token, 0.1, 54)
+            clone = traffic_from_dict(json.loads(json.dumps(spec.to_dict())))
+            assert clone == spec
+
+
+class TestAdaptiveStudy:
+    def test_study_structure_and_cache_reuse(self, tmp_path):
+        from repro.analysis import adaptive_study
+        from repro.engine import ResultCache
+
+        engine = ExperimentEngine(cache=ResultCache(tmp_path))
+        kwargs = dict(
+            networks=("sn54",),
+            routings=("default", "ugal-l"),
+            traffic=("ADV1", "burst:ADV1:16+48"),
+            loads=[0.05, 0.1],
+            warmup=100,
+            measure=200,
+            drain=400,
+        )
+        study = adaptive_study(engine, **kwargs)
+        assert set(study.curves) == {
+            ("sn54", routing, token)
+            for routing in ("default", "ugal-l")
+            for token in ("ADV1", "burst:ADV1:16+48")
+        }
+        for curve in study.curves.values():
+            assert 1 <= len(curve.points) <= 2
+        table = study.format_table()
+        assert "ugal-l" in table and "burst:ADV1:16+48" in table
+        best = study.best_routing("sn54", "ADV1")
+        assert best in ("default", "ugal-l")
+        payload = json.loads(json.dumps(study.to_dict()))
+        assert set(payload["curves"]) == {
+            f"sn54/{r}/{t}"
+            for r in ("default", "ugal-l")
+            for t in ("ADV1", "burst:ADV1:16+48")
+        }
+        # The whole grid re-served from cache: zero new simulations.
+        again = adaptive_study(engine, **kwargs)
+        assert engine.last_stats.executed == 0
+        for key, curve in study.curves.items():
+            assert again.curves[key].points == curve.points
+
+
 class TestSerializationSatellites:
     def test_sim_result_round_trip_small(self):
         result = fast_spec().execute()

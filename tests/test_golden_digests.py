@@ -23,11 +23,15 @@ from pathlib import Path
 
 import pytest
 
+from repro.engine.campaign import traffic_for_token
+from repro.engine.spec import ExperimentSpec, SyntheticTraffic
 from repro.sim import NoCSimulator, SimConfig, cbr, eb_var, el_links
 from repro.topos import make_network
 from repro.traffic import SyntheticSource
 
 GOLDEN_PATH = Path(__file__).parent / "golden" / "sim_digests.json"
+ADAPTIVE_GOLDEN_PATH = Path(__file__).parent / "golden" / "adaptive_digests.json"
+SPEC_HASH_PATH = Path(__file__).parent / "golden" / "spec_hashes.json"
 
 CONFIGS = {
     "eb": SimConfig,
@@ -61,9 +65,59 @@ MATRIX: list[tuple[str, str, str, float, int, int, int, int]] = [
 ]
 
 
+#: (topology, traffic token, routing, config key, load, seed, warmup,
+#: measure, drain).  The adaptive/non-stationary corpus: every routing
+#: name and traffic kind added in SPEC_VERSION 4, run through the exact
+#: spec path the engine uses (``ExperimentSpec.execute``), so a drift in
+#: the live-occupancy oracle, the deflection chooser, or any variant's
+#: injection schedule moves a digest here.
+ADAPTIVE_MATRIX: list[tuple[str, str, str, str, float, int, int, int, int]] = [
+    ("sn54", "ADV1", "ugal-l", "eb", 0.12, 1, 80, 200, 600),
+    ("sn54", "ADV2", "ugal-g", "eb", 0.12, 1, 80, 200, 600),
+    ("sn54", "ADV1", "deflect", "eb", 0.12, 1, 80, 200, 600),
+    ("sn54", "ADV1", "valiant", "el", 0.10, 1, 80, 200, 600),
+    ("fbf3", "ADV1", "xy-adapt", "eb", 0.10, 1, 80, 200, 600),
+    ("sn54", "burst:RND:16+48", "default", "eb", 0.10, 1, 80, 200, 600),
+    ("sn54", "burst:ADV1:32+96:0.02", "ugal-l", "el", 0.10, 2, 80, 200, 600),
+    ("sn72", "burst:ADV2:64+64", "deflect", "eb", 0.12, 1, 80, 200, 600),
+    ("sn54", "hotspot:RND:0.3:3", "default", "eb", 0.08, 1, 80, 200, 600),
+    ("sn54", "hotspot:RND:0.25:4", "deflect", "cbr12", 0.08, 1, 80, 200, 600),
+    ("fbf3", "hotspot:SHF:0.4:2", "xy-adapt", "el", 0.08, 1, 80, 200, 600),
+    ("sn54", "transient:ADV1+ADV2:64", "default", "eb", 0.10, 1, 80, 200, 600),
+    ("sn72", "transient:ADV1+ADV2:64", "ugal-l", "eb", 0.10, 1, 80, 200, 600),
+]
+
+
 def case_id(case: tuple) -> str:
     topo, pattern, cfg, load, seed, warmup, measure, drain = case
     return f"{topo}/{pattern}/{cfg}/load={load:g}/seed={seed}/{warmup}+{measure}+{drain}"
+
+
+def adaptive_case_id(case: tuple) -> str:
+    topo, token, routing, cfg, load, seed, warmup, measure, drain = case
+    return (
+        f"{topo}/{token}/{routing}/{cfg}/load={load:g}/seed={seed}/"
+        f"{warmup}+{measure}+{drain}"
+    )
+
+
+def adaptive_spec(case: tuple) -> ExperimentSpec:
+    topo_sym, token, routing, cfg, load, seed, warmup, measure, drain = case
+    topology = make_network(topo_sym)
+    return ExperimentSpec(
+        topology=topo_sym,
+        source=traffic_for_token(token, load, topology.num_nodes),
+        config=CONFIGS[cfg](),
+        routing=routing,
+        seed=seed,
+        warmup=warmup,
+        measure=measure,
+        drain=drain,
+    )
+
+
+def run_adaptive_case(case: tuple) -> dict:
+    return adaptive_spec(case).execute().to_dict()
 
 
 def run_case(case: tuple) -> dict:
@@ -104,6 +158,68 @@ def test_repeated_runs_are_deterministic():
     assert run_case(case) == run_case(case)
 
 
+def load_adaptive_golden() -> dict[str, str]:
+    return json.loads(ADAPTIVE_GOLDEN_PATH.read_text())["digests"]
+
+
+@pytest.mark.parametrize("case", ADAPTIVE_MATRIX, ids=adaptive_case_id)
+def test_adaptive_case_matches_golden_digest(case):
+    golden = load_adaptive_golden()
+    cid = adaptive_case_id(case)
+    assert cid in golden, "regenerate tests/golden/adaptive_digests.json"
+    assert digest(run_adaptive_case(case)) == golden[cid]
+
+
+def test_adaptive_matrix_and_golden_file_agree():
+    golden = load_adaptive_golden()
+    assert sorted(golden) == sorted(adaptive_case_id(c) for c in ADAPTIVE_MATRIX)
+
+
+def test_adaptive_specs_serialize_as_version_4():
+    """Every adaptive/non-stationary case needs — and declares — spec
+    version 4 (new routing name, new traffic kind, or both)."""
+    for case in ADAPTIVE_MATRIX:
+        spec = adaptive_spec(case)
+        payload = spec.to_dict()
+        source = payload["source"]
+        legacy = source["kind"] == "synthetic" and payload["routing"] in {
+            "default",
+            "minimal",
+            "dor",
+            "valiant",
+            "ugal-l",
+            "ugal-g",
+        }
+        assert payload["spec_version"] == (3 if legacy else 4), adaptive_case_id(case)
+
+
+def test_legacy_spec_hashes_unchanged_by_version_bump():
+    """The SPEC_VERSION 3 -> 4 bump must not move any pre-existing key.
+
+    ``tests/golden/spec_hashes.json`` holds the ``content_hash()`` of all
+    28 golden-matrix specs *recorded under the version-3 code*, before
+    the version-4 traffic/routing additions existed.  Minimum-required-
+    version serialization keeps those specs emitting ``spec_version: 3``
+    byte-for-byte, so every cached result stays addressable.
+    """
+    golden = json.loads(SPEC_HASH_PATH.read_text())["hashes"]
+    assert sorted(golden) == sorted(case_id(c) for c in MATRIX)
+    for case in MATRIX:
+        topo, pattern, cfg, load, seed, warmup, measure, drain = case
+        spec = ExperimentSpec(
+            topology=topo,
+            source=SyntheticTraffic(pattern, load),
+            config=CONFIGS[cfg](),
+            routing="default",
+            seed=seed,
+            warmup=warmup,
+            measure=measure,
+            drain=drain,
+        )
+        assert spec.to_dict()["spec_version"] == 3, case_id(case)
+        assert spec.content_hash() == golden[case_id(case)], case_id(case)
+
+
 def regenerate() -> None:
     GOLDEN_PATH.parent.mkdir(parents=True, exist_ok=True)
     digests = {}
@@ -121,9 +237,34 @@ def regenerate() -> None:
     print(f"wrote {len(digests)} digests to {GOLDEN_PATH}")
 
 
+def regenerate_adaptive() -> None:
+    ADAPTIVE_GOLDEN_PATH.parent.mkdir(parents=True, exist_ok=True)
+    digests = {}
+    for case in ADAPTIVE_MATRIX:
+        payload = run_adaptive_case(case)
+        digests[adaptive_case_id(case)] = digest(payload)
+        print(f"{adaptive_case_id(case)}  cycles={payload['cycles']}"
+              f" delivered={payload['delivered_packets']}")
+    ADAPTIVE_GOLDEN_PATH.write_text(json.dumps(
+        {"note": "sha256 over canonical SimResult.to_dict() JSON for the "
+                 "adaptive-routing / non-stationary-traffic corpus (run "
+                 "via ExperimentSpec.execute); regenerate only on "
+                 "intentional semantic changes (bump "
+                 "repro.engine.spec.SPEC_VERSION alongside)",
+         "digests": digests},
+        indent=2, sort_keys=True) + "\n")
+    print(f"wrote {len(digests)} digests to {ADAPTIVE_GOLDEN_PATH}")
+
+
 if __name__ == "__main__":
     import sys
 
-    if "--regen" not in sys.argv:
-        raise SystemExit("refusing to run without --regen")
-    regenerate()
+    if "--regen-adaptive" in sys.argv:
+        # The adaptive corpus alone — the classic 28-case file is append-
+        # only history and must stay byte-identical across spec versions.
+        regenerate_adaptive()
+    elif "--regen" in sys.argv:
+        regenerate()
+        regenerate_adaptive()
+    else:
+        raise SystemExit("refusing to run without --regen / --regen-adaptive")

@@ -1,11 +1,14 @@
 """Tests for routing: minimal paths, VC schedules, deadlock policies, UGAL."""
 
+import logging
+
 import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.core import SlimNoC
 from repro.routing import (
+    DeflectionRouting,
     DimensionOrderRouting,
     MinimalPaths,
     Route,
@@ -238,6 +241,144 @@ class TestXYAdaptive:
     def test_rejects_non_grid(self):
         with pytest.raises(TypeError):
             XYAdaptiveRouting(make_network("sn200"))
+
+
+class TestDeflection:
+    def test_zero_oracle_takes_minimal_path(self):
+        sn = make_network("sn200")
+        deflect = DeflectionRouting(sn)
+        minimal = StaticMinimalRouting(sn, num_vcs=deflect.num_vcs)
+        for dst in range(1, 50, 5):
+            assert deflect.route(0, dst).path == minimal.route(0, dst).path
+
+    def test_congested_first_hop_deflects_to_least_loaded(self):
+        sn = make_network("sn200")
+        minimal = StaticMinimalRouting(sn, num_vcs=4)
+        min_path = minimal.route(0, 37).path
+        neighbors = sorted(sn.router_neighbors(0))
+        quiet = next(n for n in neighbors if n != min_path[1])
+
+        class OneQuietNeighbor(ZeroQueues):
+            def output_queue(self, router, neighbor):
+                return 0 if neighbor == quiet else 50
+
+        route = DeflectionRouting(sn, oracle=OneQuietNeighbor()).route(0, 37)
+        assert route.path[1] == quiet
+        assert route.path[0] == 0 and route.path[-1] == 37
+        for u, v in zip(route.path, route.path[1:]):
+            assert v in sn.router_neighbors(u)
+
+    def test_threshold_tolerates_shallow_queues(self):
+        sn = make_network("sn200")
+
+        class ShallowQueues(ZeroQueues):
+            def output_queue(self, router, neighbor):
+                return 3
+
+        minimal = StaticMinimalRouting(sn, num_vcs=3)
+        tolerant = DeflectionRouting(sn, oracle=ShallowQueues(), threshold=4)
+        for dst in (9, 17, 33):
+            assert tolerant.route(0, dst).path == minimal.route(0, dst).path
+
+    def test_vc_budget_limits_detour_length(self):
+        """Candidates whose detour exceeds the VC budget are skipped; the
+        route still fits an ascending schedule."""
+        sn = make_network("sn200")
+
+        class Congested(ZeroQueues):
+            def output_queue(self, router, neighbor):
+                return 10
+
+        deflect = DeflectionRouting(sn, num_vcs=2, oracle=Congested())
+        for dst in range(1, 50, 5):
+            route = deflect.route(0, dst)
+            assert route.hops <= 2
+            assert route.vcs == tuple(min(h, 1) for h in range(route.hops))
+
+    def test_self_route_and_threshold_validation(self):
+        sn = make_network("sn200")
+        assert DeflectionRouting(sn).route(4, 4) == Route((4,), ())
+        with pytest.raises(ValueError):
+            DeflectionRouting(sn, threshold=-1)
+
+    def test_default_vcs_cover_diameter_plus_detour(self):
+        sn = make_network("sn200")
+        assert DeflectionRouting(sn).num_vcs == sn.diameter + 1
+
+
+class TestZeroOracleWarning:
+    def _records(self, caplog):
+        return [r for r in caplog.records if r.name == "repro.routing"]
+
+    def test_ugal_warns_once_with_zero_oracle(self, caplog):
+        sn = make_network("sn200")
+        ugal = UGALRouting(sn, num_vcs=4)
+        with caplog.at_level(logging.WARNING, logger="repro.routing"):
+            ugal.route(0, 7)
+            ugal.route(0, 9)
+        records = self._records(caplog)
+        assert len(records) == 1
+        assert "ugal-l" in records[0].getMessage()
+        assert "ZeroQueues" in records[0].getMessage()
+
+    @pytest.mark.parametrize(
+        "make",
+        [
+            lambda sn: UGALRouting(sn, global_info=True),
+            lambda sn: DeflectionRouting(sn),
+        ],
+        ids=["ugal-g", "deflect"],
+    )
+    def test_other_adaptive_schemes_warn_too(self, caplog, make):
+        routing = make(make_network("sn200"))
+        with caplog.at_level(logging.WARNING, logger="repro.routing"):
+            routing.route(0, 7)
+        assert len(self._records(caplog)) == 1
+
+    def test_custom_oracle_subclass_stays_quiet(self, caplog):
+        """Tests and callers that *subclass* ZeroQueues made a choice —
+        only the exact default type warns."""
+        sn = make_network("sn200")
+
+        class Custom(ZeroQueues):
+            def output_queue(self, router, neighbor):
+                return 1
+
+        ugal = UGALRouting(sn, num_vcs=4, oracle=Custom())
+        with caplog.at_level(logging.WARNING, logger="repro.routing"):
+            ugal.route(0, 7)
+        assert not self._records(caplog)
+
+    def test_simulator_attachment_silences_warning(self, caplog):
+        from repro.sim import NoCSimulator
+
+        sn = make_network("sn54")
+        ugal = UGALRouting(sn, num_vcs=4)
+        sim = NoCSimulator(sn, routing=ugal, seed=1)
+        assert ugal.oracle is sim  # live oracle self-installed
+        with caplog.at_level(logging.WARNING, logger="repro.routing"):
+            ugal.route(0, 7)
+        assert not self._records(caplog)
+
+    def test_stale_simulator_oracle_is_rebound(self):
+        """A routing reused across runs re-binds to the *new* simulator,
+        while a custom oracle is never overwritten."""
+        from repro.sim import NoCSimulator
+
+        sn = make_network("sn54")
+        ugal = UGALRouting(sn, num_vcs=4)
+        first = NoCSimulator(sn, routing=ugal, seed=1)
+        assert ugal.oracle is first
+        second = NoCSimulator(sn, routing=ugal, seed=2)
+        assert ugal.oracle is second
+
+        class Pinned(ZeroQueues):
+            pass
+
+        pinned = Pinned()
+        custom = UGALRouting(sn, num_vcs=4, oracle=pinned)
+        NoCSimulator(sn, routing=custom, seed=3)
+        assert custom.oracle is pinned
 
 
 class TestDefaultRouting:
